@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(table_or_text) -> None:
+    """Print a result table (or plain text) into the benchmark log.
+
+    Benchmarks run with ``-s`` show these tables inline; without ``-s`` they
+    are still captured by pytest and shown for failing benchmarks.
+    """
+    text = table_or_text.render() if hasattr(table_or_text, "render") else str(table_or_text)
+    print("\n" + text)

@@ -1,0 +1,63 @@
+"""E2 — DRAM energy of bulk bitwise operations: DDR3 vs. Ambit.
+
+Paper claim (Section 2): compared to DDR3 DRAM, Ambit reduces the energy of
+bulk bitwise operations by 35x on average.
+
+The comparison, like the original, is a DRAM-interface energy accounting:
+the processor-centric execution pays activation + burst + I/O energy for
+every byte moved over the channel (reads of both operands plus the streamed
+write of the result), while Ambit pays a few row-wide AAP/TRA operations per
+8 KiB row and never uses the channel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.tables import ResultTable
+from repro.dram.device import DramDevice
+
+from _bench_utils import emit
+
+OPERATIONS = ("not", "and", "or", "nand", "nor", "xor", "xnor")
+#: Channel bytes moved per result byte in the processor-centric execution
+#: (operand reads plus a streaming, non-temporal store of the result).
+CHANNEL_TRAFFIC = {"not": 2.0, "and": 3.0, "or": 3.0, "nand": 3.0, "nor": 3.0, "xor": 3.0, "xnor": 3.0}
+VECTOR_BYTES = 32 * 1024 * 1024
+
+
+def _run_experiment(system):
+    device: DramDevice = system["device"]
+    ambit = system["ambit"]
+    energy = device.energy_params
+    table = ResultTable(
+        title="E2: DRAM energy per KiB of result (nJ/KiB), DDR3 channel vs. Ambit",
+        columns=["op", "ddr3_nj_per_kib", "ambit_nj_per_kib", "reduction"],
+    )
+    reductions = []
+    for op in OPERATIONS:
+        traffic_bytes = int(CHANNEL_TRAFFIC[op] * VECTOR_BYTES)
+        rows_touched = traffic_bytes // device.geometry.row_size_bytes
+        ddr3_energy = (
+            rows_touched * energy.activation_energy_j
+            + energy.channel_transfer_energy_j(traffic_bytes)
+        )
+        rows = VECTOR_BYTES // device.geometry.row_size_bytes
+        ambit_energy = rows * ambit.per_row_energy_j(op)
+        reduction = ddr3_energy / ambit_energy
+        reductions.append(reduction)
+        kib = VECTOR_BYTES / 1024
+        table.add_row(op, ddr3_energy / kib * 1e9, ambit_energy / kib * 1e9, reduction)
+    mean_reduction = arithmetic_mean(reductions)
+    table.add_row("average", "-", "-", mean_reduction)
+    return table, mean_reduction
+
+
+@pytest.mark.benchmark(group="E2-ambit-energy")
+def test_e2_ambit_energy_reduction_vs_ddr3(benchmark, ddr3_ambit_system):
+    table, mean_reduction = benchmark(_run_experiment, ddr3_ambit_system)
+    emit(table)
+    emit(f"paper: 35x average energy reduction | measured: {mean_reduction:.1f}x")
+    # Shape check: an order-of-magnitude-plus reduction, in the tens.
+    assert 20 < mean_reduction < 80

@@ -1,0 +1,31 @@
+"""E6 — Data movement's share of consumer-device system energy.
+
+Paper claim (Section 3): across four widely-used Google consumer workloads
+(Chrome, TensorFlow Mobile, VP9 playback, VP9 capture), 62.7% of total
+system energy is spent on data movement across the memory hierarchy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consumer.analysis import ConsumerStudy
+
+from _bench_utils import emit
+
+
+def _run_experiment():
+    study = ConsumerStudy()
+    table = study.energy_fraction_table()
+    return table, study.average_data_movement_fraction()
+
+
+@pytest.mark.benchmark(group="E6-consumer-energy-fraction")
+def test_e6_data_movement_energy_fraction(benchmark):
+    table, average_fraction = benchmark(_run_experiment)
+    emit(table)
+    emit(
+        "paper: 62.7% of system energy is data movement | "
+        f"measured: {average_fraction * 100:.1f}%"
+    )
+    assert 0.50 < average_fraction < 0.75

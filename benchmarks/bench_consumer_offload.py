@@ -1,0 +1,51 @@
+"""E7 — Offloading the consumer workloads' target functions to PIM logic.
+
+Paper claims (Section 3):
+
+* the PIM core and PIM accelerator occupy no more than 9.4% and 35.4% of
+  the area available per vault in the HMC-like logic layer, and
+* offloading the target functions reduces total system energy by 55.4% and
+  execution time by 54.2% on average across the four workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consumer.analysis import ConsumerStudy
+
+from _bench_utils import emit
+
+
+def _run_experiment():
+    study = ConsumerStudy()
+    offload_table = study.offload_table()
+    area_table = study.area_table()
+    averages = study.average_reductions()
+    comparisons = study.offload_comparisons()
+    core_area_fraction = comparisons[0].pim_core.area_fraction
+    accel_area_fraction = comparisons[0].pim_accelerator.area_fraction
+    return offload_table, area_table, averages, core_area_fraction, accel_area_fraction
+
+
+@pytest.mark.benchmark(group="E7-consumer-offload")
+def test_e7_pim_offload_reductions_and_area(benchmark):
+    offload_table, area_table, averages, core_area, accel_area = benchmark(_run_experiment)
+    emit(area_table)
+    emit(offload_table)
+    emit(
+        "paper: areas 9.4% / 35.4% of a vault's budget; -55.4% energy, -54.2% time | "
+        f"measured: areas {core_area * 100:.1f}% / {accel_area * 100:.1f}%; "
+        f"PIM core -{averages['pim_core_energy_reduction_percent']:.1f}% energy, "
+        f"-{averages['pim_core_time_reduction_percent']:.1f}% time; "
+        f"PIM accel -{averages['pim_accelerator_energy_reduction_percent']:.1f}% energy, "
+        f"-{averages['pim_accelerator_time_reduction_percent']:.1f}% time"
+    )
+    # Area fractions are the paper's figures by construction of the site models.
+    assert core_area == pytest.approx(0.094, abs=0.01)
+    assert accel_area == pytest.approx(0.354, abs=0.02)
+    # Energy/time reductions land in a generous band around the paper's ~55%/54%.
+    assert 35 < averages["pim_core_energy_reduction_percent"] < 70
+    assert 35 < averages["pim_core_time_reduction_percent"] < 80
+    assert 35 < averages["pim_accelerator_energy_reduction_percent"] < 70
+    assert 50 < averages["pim_accelerator_time_reduction_percent"] < 95

@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment from DESIGN.md (E1–E8 and
+the ablations A1–A3).  Benchmarks print the same rows/series the paper
+reports and assert that the headline ratios fall in the expected band, so a
+green benchmark run doubles as a reproduction check.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table_or_text) -> None:
+    """Print a result table (or text) so it appears in the benchmark log."""
+    text = table_or_text.render() if hasattr(table_or_text, "render") else str(table_or_text)
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def ddr3_ambit_system():
+    """The Ambit configuration of the paper: DDR3-1600 with 8 banks used."""
+    from repro.ambit.engine import AmbitConfig, AmbitEngine
+    from repro.dram.device import DramDevice
+    from repro.hostsim.cpu import HostCpu
+    from repro.hostsim.gpu import HostGpu
+
+    device = DramDevice.ddr3()
+    return {
+        "device": device,
+        "ambit": AmbitEngine(device, AmbitConfig(banks_parallel=8)),
+        "cpu": HostCpu(dram=device),
+        "gpu": HostGpu(),
+    }

@@ -1,0 +1,11 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The environment has setuptools but no ``wheel`` module, so the PEP 660
+editable-install path (which builds a wheel) fails.  Keeping a ``setup.py``
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) install the package in editable mode.
+"""
+
+from setuptools import setup
+
+setup()

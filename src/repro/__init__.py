@@ -1,0 +1,33 @@
+"""repro — a processing-in/near-memory (PIM) simulation stack.
+
+This package reproduces the system stack described in "Enabling Practical
+Processing in and near Memory for Data-Intensive Computing" (Mutlu, Ghose,
+Gómez-Luna, Ausavarungnirun; DAC 2019).  It provides:
+
+* a DRAM substrate with timing and energy models (:mod:`repro.dram`),
+* in-DRAM bulk data movement — RowClone (:mod:`repro.rowclone`),
+* in-DRAM bulk bitwise computation — Ambit (:mod:`repro.ambit`),
+* a 3D-stacked (HMC-like) memory substrate (:mod:`repro.stacked`),
+* the Tesseract near-memory graph accelerator (:mod:`repro.tesseract`)
+  and a graph-processing framework (:mod:`repro.graph`),
+* the Google consumer-workload PIM analysis (:mod:`repro.consumer`),
+* a bitmap-index / BitWeaving database substrate (:mod:`repro.database`),
+* host-processor and GPU baselines (:mod:`repro.hostsim`), and
+* a user-facing composition layer (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro.core import PIMSystem
+
+    system = PIMSystem.default()
+    a = system.alloc_bitvector(1 << 20)
+    b = system.alloc_bitvector(1 << 20)
+    a.fill_random(seed=1)
+    b.fill_random(seed=2)
+    result = system.bulk_and(a, b)
+    print(system.last_operation_report())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

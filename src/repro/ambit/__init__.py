@@ -1,0 +1,41 @@
+"""Ambit: in-DRAM bulk bitwise operations using commodity DRAM technology.
+
+Ambit (Seshadri et al., MICRO 2017) performs bulk bitwise operations inside
+the DRAM arrays:
+
+* **Ambit-AND-OR** uses *triple-row activation* (TRA): simultaneously
+  activating three rows makes the charge-sharing on each bitline compute
+  the bitwise **majority** of the three cells, which is ``A AND B`` when the
+  third row holds zeros and ``A OR B`` when it holds ones.
+* **Ambit-NOT** uses *dual-contact cells* (DCC) wired to both inverters of
+  the sense amplifier, so activating a source row latches its complement
+  into the DCC row.
+
+Combined, the substrate is functionally complete; NAND, NOR, XOR, and XNOR
+are built by composing TRA and DCC steps.  Every step is an AAP-class
+command, so operating on an 8 KiB row costs a few row cycles regardless of
+how many bits it holds — the source of the throughput and energy wins.
+
+Public API:
+
+* :class:`repro.ambit.bitvector.BulkBitVector` — a bit vector placed in
+  DRAM rows,
+* :class:`repro.ambit.allocator.RowAllocator` — places vectors across
+  banks/subarrays,
+* :class:`repro.ambit.engine.AmbitEngine` — executes the seven bulk bitwise
+  operations functionally (row level) or analytically (bulk level).
+"""
+
+from repro.ambit.allocator import RowAllocation, RowAllocator
+from repro.ambit.bitvector import BulkBitVector
+from repro.ambit.engine import AMBIT_PRIMITIVE_COUNTS, AmbitEngine
+from repro.ambit.rowgroups import AmbitSubarrayLayout
+
+__all__ = [
+    "AMBIT_PRIMITIVE_COUNTS",
+    "AmbitEngine",
+    "AmbitSubarrayLayout",
+    "BulkBitVector",
+    "RowAllocation",
+    "RowAllocator",
+]

@@ -1,0 +1,159 @@
+"""Row allocation for Ambit operands.
+
+Ambit's triple-row activation only combines rows that share a subarray, so
+operands of one bulk operation must be *subarray-aligned*: the i-th row
+chunk of vector A, the i-th chunk of vector B, and the i-th chunk of the
+result must all live in the same subarray (in different data rows).
+
+:class:`RowAllocator` guarantees this by placing row chunks in a fixed
+round-robin order over (bank, subarray) slots: chunk ``i`` of *every*
+vector goes to bank ``i mod B`` and subarray ``(i // B) mod S``.  Vectors
+allocated from the same allocator are therefore always aligned, and chunks
+are spread over all banks so multi-bank parallelism is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ambit.rowgroups import AmbitSubarrayLayout
+from repro.dram.device import DramDevice
+
+BankKey = Tuple[int, int, int]  # (channel, rank, bank)
+
+
+@dataclass(frozen=True)
+class RowPlacement:
+    """Placement of one row-sized chunk of a vector.
+
+    Attributes:
+        bank_key: (channel, rank, bank) of the bank holding the chunk.
+        subarray: Subarray index within the bank.
+        local_row: Row index local to the subarray.
+        rows_per_subarray: Geometry constant needed to form the bank row.
+    """
+
+    bank_key: BankKey
+    subarray: int
+    local_row: int
+    rows_per_subarray: int
+
+    @property
+    def bank_row(self) -> int:
+        """Bank-level row index (what ``Bank.aap`` / ``Bank.read_row`` expect)."""
+        return self.subarray * self.rows_per_subarray + self.local_row
+
+
+@dataclass
+class RowAllocation:
+    """The set of row placements backing one :class:`BulkBitVector`."""
+
+    placements: List[RowPlacement] = field(default_factory=list)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of row chunks in the allocation."""
+        return len(self.placements)
+
+    def banks_used(self) -> int:
+        """Number of distinct banks the allocation touches."""
+        return len({p.bank_key for p in self.placements})
+
+    def aligned_with(self, other: "RowAllocation") -> bool:
+        """True when chunk ``i`` of both allocations shares (bank, subarray)."""
+        if self.num_rows != other.num_rows:
+            return False
+        return all(
+            a.bank_key == b.bank_key and a.subarray == b.subarray
+            for a, b in zip(self.placements, other.placements)
+        )
+
+
+class RowAllocator:
+    """Allocates subarray-aligned data rows for bulk bit vectors.
+
+    Args:
+        device: The DRAM device to allocate in.
+        layout: The Ambit row-group layout (defaults to one derived from the
+            device's rows-per-subarray).
+    """
+
+    def __init__(self, device: DramDevice, layout: AmbitSubarrayLayout = None) -> None:
+        self.device = device
+        geometry = device.geometry
+        self.layout = layout or AmbitSubarrayLayout(geometry.rows_per_subarray)
+        if self.layout.rows_per_subarray != geometry.rows_per_subarray:
+            raise ValueError("layout rows_per_subarray does not match the device geometry")
+        self._bank_keys: List[BankKey] = [key for key, _ in device.iter_banks()]
+        # Next free data row for each (bank_key, subarray) slot.
+        self._next_free: Dict[Tuple[BankKey, int], int] = {}
+
+    @property
+    def banks_total(self) -> int:
+        """Number of banks available for placement."""
+        return len(self._bank_keys)
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        """Subarrays per bank in the underlying device."""
+        return self.device.geometry.subarrays_per_bank
+
+    def _slot_for_chunk(self, chunk_index: int) -> Tuple[BankKey, int]:
+        bank_key = self._bank_keys[chunk_index % self.banks_total]
+        subarray = (chunk_index // self.banks_total) % self.subarrays_per_bank
+        return bank_key, subarray
+
+    def data_rows_per_slot(self) -> int:
+        """Data rows available in each (bank, subarray) slot."""
+        return self.layout.data_rows
+
+    def capacity_rows(self) -> int:
+        """Total data rows the allocator can hand out."""
+        return self.banks_total * self.subarrays_per_bank * self.layout.data_rows
+
+    def allocated_rows(self) -> int:
+        """Rows already handed out."""
+        return sum(self._next_free.values())
+
+    def allocate(self, num_rows: int) -> RowAllocation:
+        """Allocate ``num_rows`` subarray-aligned data rows.
+
+        Raises:
+            MemoryError: When any required slot has no free data rows left.
+        """
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        placements: List[RowPlacement] = []
+        rows_per_subarray = self.device.geometry.rows_per_subarray
+        for chunk in range(num_rows):
+            slot = self._slot_for_chunk(chunk)
+            next_row = self._next_free.get(slot, 0)
+            if next_row >= self.layout.data_rows:
+                raise MemoryError(
+                    f"no free data rows left in bank {slot[0]} subarray {slot[1]}"
+                )
+            self._next_free[slot] = next_row + 1
+            placements.append(
+                RowPlacement(
+                    bank_key=slot[0],
+                    subarray=slot[1],
+                    local_row=next_row,
+                    rows_per_subarray=rows_per_subarray,
+                )
+            )
+        return RowAllocation(placements=placements)
+
+    def free(self, allocation: RowAllocation) -> None:
+        """Return an allocation's rows to the free pool.
+
+        The allocator uses a bump pointer per slot, so only the most recent
+        allocation in each slot can actually be reclaimed; earlier frees are
+        accepted and simply leave the rows unused (matching how a simple
+        PIM-aware OS allocator would behave without compaction).
+        """
+        for placement in allocation.placements:
+            slot = (placement.bank_key, placement.subarray)
+            current = self._next_free.get(slot, 0)
+            if current == placement.local_row + 1:
+                self._next_free[slot] = placement.local_row

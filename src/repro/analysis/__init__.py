@@ -1,0 +1,24 @@
+"""Result containers, summary statistics, and text-table rendering.
+
+Every benchmark harness and example uses these helpers to report results in
+the same shape the paper does: a small table of named rows with a ratio
+column (speedup, energy reduction) and a geometric-mean summary row.
+"""
+
+from repro.analysis.metrics import (
+    OperationMetrics,
+    arithmetic_mean,
+    geometric_mean,
+    ratio,
+    reduction_percent,
+)
+from repro.analysis.tables import ResultTable
+
+__all__ = [
+    "OperationMetrics",
+    "ResultTable",
+    "arithmetic_mean",
+    "geometric_mean",
+    "ratio",
+    "reduction_percent",
+]

@@ -1,0 +1,128 @@
+"""Metric containers and summary statistics used across the stack."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass
+class OperationMetrics:
+    """Latency, energy, and data-movement volume of one simulated operation.
+
+    Attributes:
+        name: Label of the operation (e.g. ``"bulk_and"``).
+        latency_ns: End-to-end latency.
+        energy_j: Total energy.
+        bytes_moved_on_channel: Bytes that crossed the off-chip channel.
+        bytes_produced: Bytes of result data produced.
+        notes: Free-form annotation (e.g. which engine executed it).
+    """
+
+    name: str
+    latency_ns: float
+    energy_j: float
+    bytes_moved_on_channel: int = 0
+    bytes_produced: int = 0
+    notes: str = ""
+
+    @property
+    def latency_s(self) -> float:
+        """Latency in seconds."""
+        return self.latency_ns * 1e-9
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Result bytes produced per second (0 when latency is 0)."""
+        if self.latency_ns <= 0:
+            return 0.0
+        return self.bytes_produced / self.latency_s
+
+    @property
+    def throughput_gops64(self) -> float:
+        """Throughput in giga 64-bit-word operations per second.
+
+        This is the metric the Ambit comparison uses: one "operation"
+        consumes/produces one 64-bit word of the result vector.
+        """
+        return self.throughput_bytes_per_s / 8 / 1e9
+
+    @property
+    def energy_per_byte_j(self) -> float:
+        """Energy per produced byte (0 when nothing was produced)."""
+        if self.bytes_produced <= 0:
+            return 0.0
+        return self.energy_j / self.bytes_produced
+
+    def speedup_over(self, baseline: "OperationMetrics") -> float:
+        """Latency ratio ``baseline / self`` (>1 means this one is faster)."""
+        if self.latency_ns <= 0:
+            raise ValueError("cannot compute speedup with non-positive latency")
+        return baseline.latency_ns / self.latency_ns
+
+    def energy_reduction_over(self, baseline: "OperationMetrics") -> float:
+        """Energy ratio ``baseline / self`` (>1 means this one uses less energy)."""
+        if self.energy_j <= 0:
+            raise ValueError("cannot compute energy reduction with non-positive energy")
+        return baseline.energy_j / self.energy_j
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def ratio(baseline: float, improved: float) -> float:
+    """Improvement factor ``baseline / improved`` (>1 means improvement)."""
+    if improved <= 0:
+        raise ValueError("improved value must be positive")
+    return baseline / improved
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction from ``baseline`` to ``improved`` (0–100)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline * 100.0
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def percentile(values: Iterable[float], q: float) -> Optional[float]:
+    """Linear-interpolated percentile ``q`` (0–100) of ``values``."""
+    data = sorted(values)
+    if not data:
+        return None
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if len(data) == 1:
+        return data[0]
+    position = (len(data) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return data[low]
+    fraction = position - low
+    return data[low] * (1 - fraction) + data[high] * fraction

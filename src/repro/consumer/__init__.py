@@ -1,0 +1,53 @@
+"""Google consumer-workload PIM analysis (Boroumand et al., ASPLOS 2018).
+
+The paper's consumer-device study analyzes four widely used Google
+workloads — the Chrome browser, TensorFlow Mobile, VP9 video playback, and
+VP9 video capture — and finds that **62.7% of total system energy** is
+spent moving data through the memory hierarchy.  It then identifies the
+data-movement-heavy *target functions* of each workload, shows they consist
+of simple operations, and evaluates offloading them to either a small
+general-purpose PIM core or a fixed-function PIM accelerator in the logic
+layer of a 3D-stacked memory, subject to that layer's area budget.
+
+This subpackage reproduces that accounting:
+
+* :mod:`repro.consumer.workloads` — analytical models of the four
+  workloads, each decomposed into target functions and a host-resident
+  remainder, with per-phase instruction counts and data-movement volumes,
+* :mod:`repro.consumer.energy_model` — the mobile-SoC energy model used to
+  attribute energy to compute vs. data movement,
+* :mod:`repro.consumer.pim_logic` — PIM-core / PIM-accelerator offload
+  execution models and the logic-layer area-fit check,
+* :mod:`repro.consumer.analysis` — the end-to-end comparison that
+  regenerates the E6/E7 experiment rows.
+"""
+
+from repro.consumer.analysis import ConsumerStudy, OffloadComparison, WorkloadEnergyReport
+from repro.consumer.energy_model import ConsumerEnergyParameters, EnergyAccount
+from repro.consumer.pim_logic import PimOffloadEngine, PimOffloadResult
+from repro.consumer.workloads import (
+    ConsumerWorkload,
+    ExecutionPhase,
+    chrome_browser,
+    default_workloads,
+    tensorflow_mobile,
+    vp9_capture,
+    vp9_playback,
+)
+
+__all__ = [
+    "ConsumerEnergyParameters",
+    "ConsumerStudy",
+    "ConsumerWorkload",
+    "EnergyAccount",
+    "ExecutionPhase",
+    "OffloadComparison",
+    "PimOffloadEngine",
+    "PimOffloadResult",
+    "WorkloadEnergyReport",
+    "chrome_browser",
+    "default_workloads",
+    "tensorflow_mobile",
+    "vp9_capture",
+    "vp9_playback",
+]

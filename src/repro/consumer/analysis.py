@@ -1,0 +1,197 @@
+"""End-to-end consumer-workload study: E6 and E7.
+
+:class:`ConsumerStudy` combines the workload models, the host energy model,
+and the PIM offload engine to regenerate the study's headline rows:
+
+* per-workload data-movement energy fraction and the cross-workload average
+  (E6, paper figure: 62.7%),
+* per-workload energy and execution-time reduction when the target
+  functions run on a PIM core or PIM accelerator, plus the logic-layer
+  area-fit check (E7, paper figures: −55.4% energy, −54.2% time, areas
+  9.4% / 35.4% of a vault's share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.tables import ResultTable
+from repro.consumer.energy_model import ConsumerEnergyModel, ConsumerEnergyParameters, EnergyAccount
+from repro.consumer.pim_logic import PimOffloadEngine, PimOffloadResult
+from repro.consumer.workloads import ConsumerWorkload, default_workloads
+from repro.stacked.logic_layer import ComputeSiteKind
+
+
+@dataclass
+class WorkloadEnergyReport:
+    """E6 row: where one workload's energy goes when run on the host."""
+
+    workload: str
+    account: EnergyAccount
+
+    @property
+    def data_movement_fraction(self) -> float:
+        """Fraction of total energy spent on data movement."""
+        return self.account.data_movement_fraction
+
+
+@dataclass
+class OffloadComparison:
+    """E7 row: host baseline vs. PIM-core and PIM-accelerator offload."""
+
+    workload: str
+    host: EnergyAccount
+    pim_core: PimOffloadResult
+    pim_accelerator: PimOffloadResult
+
+    def energy_reduction_percent(self, kind: ComputeSiteKind) -> float:
+        """Total-energy reduction of the chosen offload vs. the host (0-100)."""
+        result = self._result(kind)
+        return (self.host.total_j - result.account.total_j) / self.host.total_j * 100.0
+
+    def time_reduction_percent(self, kind: ComputeSiteKind) -> float:
+        """Execution-time reduction of the chosen offload vs. the host (0-100)."""
+        result = self._result(kind)
+        return (self.host.time_s - result.account.time_s) / self.host.time_s * 100.0
+
+    def _result(self, kind: ComputeSiteKind) -> PimOffloadResult:
+        if kind is ComputeSiteKind.GENERAL_PURPOSE_CORE:
+            return self.pim_core
+        if kind is ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR:
+            return self.pim_accelerator
+        raise ValueError("kind must be a PIM core or PIM accelerator")
+
+
+class ConsumerStudy:
+    """Runs the full consumer-workload analysis over a set of workloads."""
+
+    def __init__(
+        self,
+        workloads: Optional[List[ConsumerWorkload]] = None,
+        energy_parameters: Optional[ConsumerEnergyParameters] = None,
+        offload_engine: Optional[PimOffloadEngine] = None,
+    ) -> None:
+        self.workloads = workloads or default_workloads()
+        self.energy_parameters = energy_parameters or ConsumerEnergyParameters.chromebook()
+        self.host_model = ConsumerEnergyModel(self.energy_parameters)
+        self.offload_engine = offload_engine or PimOffloadEngine(self.energy_parameters)
+
+    # ------------------------------------------------------------------
+    # E6: data-movement energy fraction
+    # ------------------------------------------------------------------
+    def energy_fraction_reports(self) -> List[WorkloadEnergyReport]:
+        """Per-workload host-execution energy accounts."""
+        return [
+            WorkloadEnergyReport(w.name, self.host_model.workload_account(w))
+            for w in self.workloads
+        ]
+
+    def average_data_movement_fraction(self) -> float:
+        """Cross-workload average data-movement energy fraction."""
+        return arithmetic_mean(
+            [r.data_movement_fraction for r in self.energy_fraction_reports()]
+        )
+
+    def energy_fraction_table(self) -> ResultTable:
+        """Render the E6 rows."""
+        table = ResultTable(
+            title="E6: data movement share of total system energy (host execution)",
+            columns=["workload", "total_mj", "data_movement_mj", "movement_fraction"],
+        )
+        reports = self.energy_fraction_reports()
+        for report in reports:
+            table.add_row(
+                report.workload,
+                report.account.total_j * 1e3,
+                report.account.data_movement_j * 1e3,
+                report.data_movement_fraction,
+            )
+        table.add_row(
+            "average",
+            arithmetic_mean([r.account.total_j for r in reports]) * 1e3,
+            arithmetic_mean([r.account.data_movement_j for r in reports]) * 1e3,
+            self.average_data_movement_fraction(),
+        )
+        return table
+
+    # ------------------------------------------------------------------
+    # E7: PIM offload comparison
+    # ------------------------------------------------------------------
+    def offload_comparisons(self) -> List[OffloadComparison]:
+        """Per-workload host vs. PIM-core vs. PIM-accelerator comparison."""
+        comparisons = []
+        for workload in self.workloads:
+            host = self.host_model.workload_account(workload)
+            core = self.offload_engine.execute(workload, ComputeSiteKind.GENERAL_PURPOSE_CORE)
+            accel = self.offload_engine.execute(
+                workload, ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR
+            )
+            comparisons.append(OffloadComparison(workload.name, host, core, accel))
+        return comparisons
+
+    def average_reductions(self) -> Dict[str, float]:
+        """Average energy/time reductions for both offload kinds (percent)."""
+        comparisons = self.offload_comparisons()
+        result = {}
+        for label, kind in (
+            ("pim_core", ComputeSiteKind.GENERAL_PURPOSE_CORE),
+            ("pim_accelerator", ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR),
+        ):
+            result[f"{label}_energy_reduction_percent"] = arithmetic_mean(
+                [c.energy_reduction_percent(kind) for c in comparisons]
+            )
+            result[f"{label}_time_reduction_percent"] = arithmetic_mean(
+                [c.time_reduction_percent(kind) for c in comparisons]
+            )
+        return result
+
+    def offload_table(self) -> ResultTable:
+        """Render the E7 rows."""
+        table = ResultTable(
+            title="E7: PIM offload of target functions (reductions vs. host, %)",
+            columns=[
+                "workload",
+                "core_energy_red",
+                "core_time_red",
+                "accel_energy_red",
+                "accel_time_red",
+            ],
+        )
+        comparisons = self.offload_comparisons()
+        for c in comparisons:
+            table.add_row(
+                c.workload,
+                c.energy_reduction_percent(ComputeSiteKind.GENERAL_PURPOSE_CORE),
+                c.time_reduction_percent(ComputeSiteKind.GENERAL_PURPOSE_CORE),
+                c.energy_reduction_percent(ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR),
+                c.time_reduction_percent(ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR),
+            )
+        averages = self.average_reductions()
+        table.add_row(
+            "average",
+            averages["pim_core_energy_reduction_percent"],
+            averages["pim_core_time_reduction_percent"],
+            averages["pim_accelerator_energy_reduction_percent"],
+            averages["pim_accelerator_time_reduction_percent"],
+        )
+        return table
+
+    def area_table(self) -> ResultTable:
+        """Render the logic-layer area-fit rows of E7."""
+        engine = self.offload_engine
+        table = ResultTable(
+            title="E7: PIM logic area vs. the logic layer's per-vault budget",
+            columns=["site", "area_mm2", "budget_mm2", "fraction", "fits"],
+        )
+        comparisons = self.offload_comparisons()
+        if comparisons:
+            core = comparisons[0].pim_core
+            accel = comparisons[0].pim_accelerator
+            budget = engine.budget.area_per_vault_mm2
+            table.add_row("pim_core", core.area_mm2, budget, core.area_fraction, core.fits_budget)
+            table.add_row(
+                "pim_accelerator", accel.area_mm2, budget, accel.area_fraction, accel.fits_budget
+            )
+        return table

@@ -1,0 +1,151 @@
+"""Mobile-SoC energy model for the consumer-workload study.
+
+The study attributes every joule of a workload's execution to either
+*computation* (the CPU pipelines doing arithmetic) or *data movement*
+(moving bytes through the caches, the SoC interconnect, and the off-chip
+LPDDR interface).  The E6 experiment reproduces the headline observation
+that data movement accounts for ~62.7% of total system energy.
+
+Calibration: per-instruction core energy of a mobile big core is on the
+order of 100 pJ (including fetch/decode/register file); LPDDR3/4 interface
+energy is 80–120 pJ per byte end to end; on-chip SRAM and interconnect add
+a few pJ per byte per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.consumer.workloads import ConsumerWorkload, ExecutionPhase
+
+
+@dataclass(frozen=True)
+class ConsumerEnergyParameters:
+    """Energy/performance parameters of the consumer device's SoC.
+
+    Attributes:
+        cpu_energy_per_instruction_j: Whole-core energy per instruction.
+        cache_energy_per_byte_j: Energy per byte moved through the on-chip
+            caches (averaged over the levels a byte traverses).
+        interconnect_energy_per_byte_j: SoC interconnect energy per byte.
+        dram_energy_per_byte_j: Off-chip LPDDR energy per byte (array +
+            I/O + controller).
+        static_power_w: SoC + DRAM static power.
+        cpu_ops_per_second: Aggregate instruction throughput of the host
+            CPU cluster.
+        dram_bandwidth_bytes_per_s: Peak LPDDR bandwidth.
+        scattered_bandwidth_derate: Fraction of peak bandwidth achieved by
+            scattered (non-streaming) access patterns.
+    """
+
+    cpu_energy_per_instruction_j: float = 0.9e-10
+    cache_energy_per_byte_j: float = 1.2e-12
+    interconnect_energy_per_byte_j: float = 2.5e-12
+    dram_energy_per_byte_j: float = 1.2e-10
+    static_power_w: float = 0.35
+    cpu_ops_per_second: float = 4 * 2.2e9 * 2.0
+    dram_bandwidth_bytes_per_s: float = 12.8e9
+    scattered_bandwidth_derate: float = 0.45
+
+    @classmethod
+    def chromebook(cls) -> "ConsumerEnergyParameters":
+        """The Chromebook-class device used by the study."""
+        return cls()
+
+
+@dataclass
+class EnergyAccount:
+    """Energy attributed to compute vs. data movement for one execution.
+
+    Attributes:
+        compute_j: CPU (or PIM) computation energy.
+        cache_j: On-chip cache data-movement energy.
+        interconnect_j: SoC interconnect data-movement energy.
+        dram_j: Off-chip DRAM data-movement energy.
+        static_j: Static energy over the execution time.
+        time_s: Execution time.
+    """
+
+    compute_j: float = 0.0
+    cache_j: float = 0.0
+    interconnect_j: float = 0.0
+    dram_j: float = 0.0
+    static_j: float = 0.0
+    time_s: float = 0.0
+
+    @property
+    def data_movement_j(self) -> float:
+        """Energy spent moving data through the hierarchy."""
+        return self.cache_j + self.interconnect_j + self.dram_j
+
+    @property
+    def total_j(self) -> float:
+        """Total energy including static."""
+        return self.compute_j + self.data_movement_j + self.static_j
+
+    @property
+    def data_movement_fraction(self) -> float:
+        """Fraction of total energy spent on data movement."""
+        total = self.total_j
+        return self.data_movement_j / total if total > 0 else 0.0
+
+    def accumulate(self, other: "EnergyAccount") -> None:
+        """Add another account's components into this one."""
+        self.compute_j += other.compute_j
+        self.cache_j += other.cache_j
+        self.interconnect_j += other.interconnect_j
+        self.dram_j += other.dram_j
+        self.static_j += other.static_j
+        self.time_s += other.time_s
+
+
+class ConsumerEnergyModel:
+    """Computes host-execution time and energy accounts for workloads."""
+
+    def __init__(self, parameters: ConsumerEnergyParameters = None) -> None:
+        self.parameters = parameters or ConsumerEnergyParameters.chromebook()
+
+    # ------------------------------------------------------------------
+    # Per-phase accounting
+    # ------------------------------------------------------------------
+    def phase_time_s(self, phase: ExecutionPhase) -> float:
+        """Host execution time of one phase (roofline of compute and memory)."""
+        p = self.parameters
+        compute_s = phase.host_instructions / p.cpu_ops_per_second
+        streaming_bytes = phase.dram_bytes * phase.streaming_fraction
+        scattered_bytes = phase.dram_bytes - streaming_bytes
+        memory_s = (
+            streaming_bytes / p.dram_bandwidth_bytes_per_s
+            + scattered_bytes / (p.dram_bandwidth_bytes_per_s * p.scattered_bandwidth_derate)
+        )
+        return max(compute_s, memory_s)
+
+    def phase_account(self, phase: ExecutionPhase) -> EnergyAccount:
+        """Energy account of one phase executed on the host."""
+        p = self.parameters
+        time_s = self.phase_time_s(phase)
+        total_on_chip = phase.dram_bytes + phase.on_chip_bytes
+        return EnergyAccount(
+            compute_j=phase.host_instructions * p.cpu_energy_per_instruction_j,
+            cache_j=total_on_chip * p.cache_energy_per_byte_j,
+            interconnect_j=total_on_chip * p.interconnect_energy_per_byte_j,
+            dram_j=phase.dram_bytes * p.dram_energy_per_byte_j,
+            static_j=p.static_power_w * time_s,
+            time_s=time_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-workload accounting
+    # ------------------------------------------------------------------
+    def workload_account(self, workload: ConsumerWorkload) -> EnergyAccount:
+        """Energy account of a whole workload executed entirely on the host."""
+        return self.combine(self.phase_account(p) for p in workload.phases)
+
+    @staticmethod
+    def combine(accounts: Iterable[EnergyAccount]) -> EnergyAccount:
+        """Sum a sequence of accounts (phases execute back to back)."""
+        total = EnergyAccount()
+        for account in accounts:
+            total.accumulate(account)
+        return total

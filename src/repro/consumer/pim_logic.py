@@ -1,0 +1,148 @@
+"""PIM offload execution models for the consumer workloads.
+
+The study evaluates two ways of implementing the target functions in the
+logic layer of a 3D-stacked memory:
+
+* **PIM core** — a single small general-purpose in-order core per vault,
+  which can run any target function but executes it instruction by
+  instruction.
+* **PIM accelerator** — one small fixed-function datapath per target
+  function, an order of magnitude more efficient per operation but usable
+  only for its function.
+
+Offloaded phases read and write memory through the vault TSVs (cheap and
+high-bandwidth) instead of the host's cache hierarchy and LPDDR interface;
+the remaining host phases are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.consumer.energy_model import (
+    ConsumerEnergyModel,
+    ConsumerEnergyParameters,
+    EnergyAccount,
+)
+from repro.consumer.workloads import ConsumerWorkload, ExecutionPhase
+from repro.stacked.logic_layer import ComputeSiteKind, LogicLayerBudget, PimComputeSite
+from repro.stacked.vault import VaultParameters
+
+
+@dataclass
+class PimOffloadResult:
+    """Result of executing one workload with its target functions offloaded.
+
+    Attributes:
+        workload: Workload name.
+        site_kind: Which PIM logic executed the target functions.
+        account: Combined energy/time account (host + PIM portions).
+        host_account: Account of the phases that stayed on the host.
+        pim_account: Account of the offloaded phases.
+        area_mm2: Logic-layer area used by the PIM logic.
+        area_fraction: Fraction of one vault's area budget used.
+        fits_budget: Whether the PIM logic fits the area budget.
+    """
+
+    workload: str
+    site_kind: ComputeSiteKind
+    account: EnergyAccount
+    host_account: EnergyAccount
+    pim_account: EnergyAccount
+    area_mm2: float
+    area_fraction: float
+    fits_budget: bool
+
+
+class PimOffloadEngine:
+    """Executes consumer workloads with target functions offloaded to PIM.
+
+    Args:
+        energy_parameters: Host-side energy parameters.
+        vault: Stacked-memory vault parameters (TSV bandwidth/energy).
+        budget: Logic-layer area budget.
+        vaults_used: Number of vaults an offloaded phase's data is spread
+            over (the study spreads frames/matrices across a few vaults,
+            giving the PIM logic proportional bandwidth).
+    """
+
+    def __init__(
+        self,
+        energy_parameters: Optional[ConsumerEnergyParameters] = None,
+        vault: Optional[VaultParameters] = None,
+        budget: Optional[LogicLayerBudget] = None,
+        vaults_used: int = 4,
+    ) -> None:
+        self.energy_parameters = energy_parameters or ConsumerEnergyParameters.chromebook()
+        self.host_model = ConsumerEnergyModel(self.energy_parameters)
+        self.vault = vault or VaultParameters.hmc2()
+        self.budget = budget or LogicLayerBudget()
+        if vaults_used <= 0:
+            raise ValueError("vaults_used must be positive")
+        self.vaults_used = vaults_used
+
+    # ------------------------------------------------------------------
+    # Offloaded-phase execution
+    # ------------------------------------------------------------------
+    def pim_phase_account(self, phase: ExecutionPhase, site: PimComputeSite) -> EnergyAccount:
+        """Energy/time account of one target function executed on PIM logic."""
+        if not phase.is_target_function:
+            raise ValueError(f"phase {phase.name!r} is not a target function")
+        ops = phase.effective_pim_ops
+        if site.kind is ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR:
+            # A fixed-function datapath retires several simple operations per
+            # cycle and elides the instruction-control overhead entirely.
+            ops = ops / 4.0
+        compute_s = ops / (site.ops_per_second * self.vaults_used)
+        bandwidth = self.vault.tsv_bandwidth_bytes_per_s * self.vaults_used
+        memory_s = phase.dram_bytes / bandwidth
+        time_s = max(compute_s, memory_s)
+        memory_energy_j = phase.dram_bytes * (
+            self.vault.tsv_energy_per_byte_j + 6.0 * 8 * 1e-12  # TSV + stacked array
+        )
+        return EnergyAccount(
+            compute_j=site.compute_energy_j(int(ops)),
+            cache_j=0.0,
+            interconnect_j=0.0,
+            dram_j=memory_energy_j,
+            static_j=(site.dynamic_power_w * 0.1 * self.vaults_used) * time_s,
+            time_s=time_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-workload offload
+    # ------------------------------------------------------------------
+    def execute(
+        self, workload: ConsumerWorkload, site_kind: ComputeSiteKind
+    ) -> PimOffloadResult:
+        """Execute ``workload`` with its target functions on the given PIM logic."""
+        if site_kind is ComputeSiteKind.GENERAL_PURPOSE_CORE:
+            site = PimComputeSite.in_order_core()
+            area = site.area_mm2
+        elif site_kind is ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR:
+            site = PimComputeSite.fixed_function_accelerator()
+            area = site.area_mm2
+        else:
+            raise ValueError("site_kind must be a PIM core or PIM accelerator")
+
+        pim_accounts: List[EnergyAccount] = [
+            self.pim_phase_account(phase, site) for phase in workload.target_functions
+        ]
+        host_accounts: List[EnergyAccount] = [
+            self.host_model.phase_account(phase) for phase in workload.host_phases
+        ]
+        pim_total = ConsumerEnergyModel.combine(pim_accounts)
+        host_total = ConsumerEnergyModel.combine(host_accounts)
+        combined = ConsumerEnergyModel.combine([pim_total, host_total])
+
+        return PimOffloadResult(
+            workload=workload.name,
+            site_kind=site_kind,
+            account=combined,
+            host_account=host_total,
+            pim_account=pim_total,
+            area_mm2=area,
+            area_fraction=self.budget.area_fraction(area),
+            fits_budget=site.fits(self.budget),
+        )

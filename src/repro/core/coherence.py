@@ -1,0 +1,134 @@
+"""Coherence cost model for PIM execution (LazyPIM-style).
+
+When PIM logic updates data that the host's caches may also hold, the
+system must keep the two views coherent.  The paper lists three practical
+approaches, which this model exposes as :class:`CoherencePolicy` values:
+
+* ``FLUSH_BASED`` — before a PIM kernel runs, the host flushes (writes back
+  and invalidates) every cache line of the PIM-visible region; simple but
+  pays the full flush cost on every offload.
+* ``FINE_GRAINED`` — every PIM memory access sends a coherence probe to the
+  host (an MESI-style extension over the off-chip link); correct but the
+  probe traffic erodes the data-movement savings.
+* ``LAZY_BATCHED`` — LazyPIM/CoNDA-style speculative execution: the PIM
+  kernel runs without probes while recording a compressed signature of the
+  lines it touched, and the host checks the signature once at the end,
+  re-executing the (rare) conflicting portions.
+
+The model estimates the coherence *overhead time and traffic* added to a
+PIM kernel as a function of the kernel's footprint, the fraction of it that
+is dirty in host caches, and the conflict probability — enough to show why
+naive policies can erase PIM's benefit, which is the point the paper makes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CoherencePolicy(enum.Enum):
+    """Coherence mechanism used between the host and PIM logic."""
+
+    FLUSH_BASED = "flush"
+    FINE_GRAINED = "fine_grained"
+    LAZY_BATCHED = "lazy_batched"
+
+
+@dataclass
+class CoherenceOverhead:
+    """Overhead a coherence policy adds to one PIM kernel invocation.
+
+    Attributes:
+        extra_time_ns: Added execution time.
+        extra_traffic_bytes: Added off-chip traffic.
+        reexecution_fraction: Fraction of the kernel re-executed (lazy policy).
+    """
+
+    extra_time_ns: float
+    extra_traffic_bytes: float
+    reexecution_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class CoherenceModel:
+    """Estimates coherence overheads for PIM kernels.
+
+    Attributes:
+        cache_line_bytes: Coherence granularity.
+        flush_bandwidth_bytes_per_s: Rate at which the host can write back
+            and invalidate its caches.
+        probe_latency_ns: Round-trip latency of one fine-grained probe.
+        probe_bytes: Traffic of one probe + response.
+        probes_overlap_factor: How many probes the PIM core can overlap.
+        signature_bytes: Size of the LazyPIM signature exchanged per batch.
+        link_bandwidth_bytes_per_s: Off-chip link bandwidth for coherence
+            traffic.
+    """
+
+    cache_line_bytes: int = 64
+    flush_bandwidth_bytes_per_s: float = 20e9
+    probe_latency_ns: float = 120.0
+    probe_bytes: int = 16
+    probes_overlap_factor: float = 4.0
+    signature_bytes: int = 4096
+    link_bandwidth_bytes_per_s: float = 16e9
+
+    def overhead(
+        self,
+        policy: CoherencePolicy,
+        footprint_bytes: int,
+        dirty_fraction: float = 0.1,
+        shared_access_fraction: float = 0.2,
+        conflict_probability: float = 0.02,
+        kernel_time_ns: float = 0.0,
+    ) -> CoherenceOverhead:
+        """Estimate the overhead of running one PIM kernel under ``policy``.
+
+        Args:
+            policy: Coherence policy in use.
+            footprint_bytes: Bytes of memory the kernel touches.
+            dirty_fraction: Fraction of the footprint dirty in host caches.
+            shared_access_fraction: Fraction of kernel accesses that touch
+                data the host may also access concurrently.
+            conflict_probability: Probability that a lazily executed batch
+                conflicts and must be re-executed.
+            kernel_time_ns: The kernel's own execution time (needed to price
+                re-execution under the lazy policy).
+        """
+        if footprint_bytes < 0:
+            raise ValueError("footprint_bytes must be non-negative")
+        for name, value in (
+            ("dirty_fraction", dirty_fraction),
+            ("shared_access_fraction", shared_access_fraction),
+            ("conflict_probability", conflict_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+        if policy is CoherencePolicy.FLUSH_BASED:
+            flushed = footprint_bytes * dirty_fraction
+            invalidated = footprint_bytes
+            time_ns = (flushed + 0.1 * invalidated) / self.flush_bandwidth_bytes_per_s * 1e9
+            return CoherenceOverhead(extra_time_ns=time_ns, extra_traffic_bytes=flushed)
+
+        lines = footprint_bytes / self.cache_line_bytes
+        if policy is CoherencePolicy.FINE_GRAINED:
+            probes = lines * shared_access_fraction
+            serial_time_ns = probes * self.probe_latency_ns / self.probes_overlap_factor
+            traffic = probes * self.probe_bytes
+            link_time_ns = traffic / self.link_bandwidth_bytes_per_s * 1e9
+            return CoherenceOverhead(
+                extra_time_ns=max(serial_time_ns, link_time_ns),
+                extra_traffic_bytes=traffic,
+            )
+
+        # LAZY_BATCHED
+        signature_time_ns = self.signature_bytes / self.link_bandwidth_bytes_per_s * 1e9
+        reexecution_time_ns = conflict_probability * kernel_time_ns
+        traffic = self.signature_bytes + conflict_probability * footprint_bytes
+        return CoherenceOverhead(
+            extra_time_ns=signature_time_ns + reexecution_time_ns,
+            extra_traffic_bytes=traffic,
+            reexecution_fraction=conflict_probability,
+        )

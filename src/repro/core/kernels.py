@@ -1,0 +1,75 @@
+"""Convenience kernels built on the :class:`~repro.core.system.PIMSystem` API.
+
+These are the kinds of operations the paper's motivating applications
+perform, expressed against the public API so they double as usage examples
+and integration-test subjects:
+
+* :func:`bitmap_intersection` — AND together a set of bitmap-index bit
+  vectors (the inner loop of an analytics query),
+* :func:`zero_initialize` — bulk-zero a freshly allocated region (the
+  kernel RowClone accelerates for fork/security zeroing),
+* :func:`bulk_checkpoint` — copy a live region to a checkpoint area.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.analysis.metrics import OperationMetrics
+from repro.core.system import PIMSystem
+from repro.rowclone.engine import CopyMode
+
+
+def bitmap_intersection(
+    system: PIMSystem, bitmaps: Sequence[BulkBitVector]
+) -> Tuple[BulkBitVector, List[OperationMetrics]]:
+    """AND together ``bitmaps`` pairwise and return (result, per-step metrics).
+
+    Args:
+        system: The PIM system executing the operation.
+        bitmaps: Two or more equal-length bit vectors.
+
+    Returns:
+        The intersection bit vector and the metrics of each AND step.
+    """
+    if len(bitmaps) < 2:
+        raise ValueError("bitmap_intersection needs at least two bitmaps")
+    lengths = {b.num_bits for b in bitmaps}
+    if len(lengths) != 1:
+        raise ValueError("all bitmaps must have the same length")
+    metrics: List[OperationMetrics] = []
+    result = bitmaps[0]
+    for operand in bitmaps[1:]:
+        result = system.bulk_and(result, operand)
+        metrics.append(system.last_operation().pim)
+    return result, metrics
+
+
+def zero_initialize(system: PIMSystem, num_bytes: int) -> OperationMetrics:
+    """Zero ``num_bytes`` of memory in DRAM with RowClone.
+
+    This is the kernel behind fast page zeroing (fork, calloc, VM security
+    scrubbing) that RowClone accelerates.
+    """
+    if num_bytes <= 0:
+        raise ValueError("num_bytes must be positive")
+    return system.fill(num_bytes)
+
+
+def bulk_checkpoint(
+    system: PIMSystem, num_bytes: int, intra_subarray: bool = True
+) -> OperationMetrics:
+    """Copy a ``num_bytes`` region to a checkpoint area inside DRAM.
+
+    Args:
+        system: The PIM system executing the copy.
+        num_bytes: Region size.
+        intra_subarray: When True the checkpoint area is subarray-aligned
+            with the source (RowClone FPM); otherwise the copy crosses banks
+            and uses the slower pipelined-serial mode.
+    """
+    if num_bytes <= 0:
+        raise ValueError("num_bytes must be positive")
+    mode = CopyMode.FPM if intra_subarray else CopyMode.PSM
+    return system.copy(num_bytes, mode)

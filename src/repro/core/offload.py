@@ -1,0 +1,196 @@
+"""Offload decision engine.
+
+One of the adoption challenges the paper highlights is deciding *what* to
+offload: pushing every function into memory wastes the host's large cores,
+while offloading nothing leaves the data-movement savings on the table.
+Following the methodology of the consumer-workloads study and the
+PIM-enabled-instructions work, the planner scores a kernel by its
+data-movement intensity:
+
+* kernels that stream a lot of bytes per unit of computation, or whose
+  accesses miss the caches, save the most energy and time when moved to
+  PIM logic;
+* compute-intensive kernels (high operations per byte) stay on the host,
+  whose wide SIMD units and large caches serve them better.
+
+The decision is made by estimating both execution times and energies from
+the same roofline-style models used elsewhere in the stack, so it can be
+tested against the crossover ablation (A3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consumer.energy_model import ConsumerEnergyModel, ConsumerEnergyParameters
+from repro.consumer.pim_logic import PimOffloadEngine
+from repro.consumer.workloads import ExecutionPhase
+from repro.stacked.logic_layer import ComputeSiteKind, PimComputeSite
+
+
+class ExecutionTarget(enum.Enum):
+    """Where the planner decides a kernel should run."""
+
+    HOST = "host"
+    PIM_CORE = "pim_core"
+    PIM_ACCELERATOR = "pim_accelerator"
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Description of a candidate kernel for offload.
+
+    Attributes:
+        name: Kernel name.
+        instructions: Instructions (or equivalent operations) it executes.
+        memory_bytes: Bytes it moves to/from main memory.
+        on_chip_bytes: Bytes served by on-chip caches on the host.
+        streaming_fraction: Fraction of its memory traffic that streams.
+        has_fixed_function_accelerator: Whether a matching fixed-function
+            PIM accelerator exists for this kernel.
+    """
+
+    name: str
+    instructions: float
+    memory_bytes: float
+    on_chip_bytes: float = 0.0
+    streaming_fraction: float = 0.8
+    has_fixed_function_accelerator: bool = False
+
+    @property
+    def operations_per_byte(self) -> float:
+        """Compute intensity: instructions per byte of memory traffic."""
+        if self.memory_bytes <= 0:
+            return float("inf")
+        return self.instructions / self.memory_bytes
+
+    def as_phase(self, is_target: bool = True) -> ExecutionPhase:
+        """View the kernel as a consumer-workload execution phase."""
+        return ExecutionPhase(
+            name=self.name,
+            is_target_function=is_target,
+            host_instructions=self.instructions,
+            dram_bytes=self.memory_bytes,
+            on_chip_bytes=self.on_chip_bytes,
+            streaming_fraction=self.streaming_fraction,
+        )
+
+
+@dataclass
+class OffloadDecision:
+    """Outcome of planning one kernel.
+
+    Attributes:
+        kernel: The kernel that was planned.
+        target: Chosen execution target.
+        host_time_s: Estimated host execution time.
+        pim_time_s: Estimated PIM execution time (best PIM option).
+        host_energy_j: Estimated host energy.
+        pim_energy_j: Estimated PIM energy (best PIM option).
+    """
+
+    kernel: KernelDescriptor
+    target: ExecutionTarget
+    host_time_s: float
+    pim_time_s: float
+    host_energy_j: float
+    pim_energy_j: float
+
+    @property
+    def projected_speedup(self) -> float:
+        """Host-to-chosen-target speedup (1.0 when staying on the host)."""
+        if self.target is ExecutionTarget.HOST:
+            return 1.0
+        return self.host_time_s / self.pim_time_s if self.pim_time_s > 0 else float("inf")
+
+    @property
+    def projected_energy_reduction_percent(self) -> float:
+        """Energy reduction of the chosen target vs. the host (0 when host)."""
+        if self.target is ExecutionTarget.HOST or self.host_energy_j <= 0:
+            return 0.0
+        return (self.host_energy_j - self.pim_energy_j) / self.host_energy_j * 100.0
+
+
+class OffloadPlanner:
+    """Chooses host vs. PIM execution for described kernels.
+
+    Args:
+        energy_parameters: Host energy/performance parameters.
+        offload_engine: PIM offload execution model.
+        energy_weight: Weight of energy (vs. time) in the decision score;
+            0 optimizes purely for time, 1 purely for energy.
+        offload_threshold: Required relative benefit before offloading
+            (guards against moving kernels with negligible gains).
+    """
+
+    def __init__(
+        self,
+        energy_parameters: Optional[ConsumerEnergyParameters] = None,
+        offload_engine: Optional[PimOffloadEngine] = None,
+        energy_weight: float = 0.3,
+        offload_threshold: float = 0.05,
+    ) -> None:
+        if not 0.0 <= energy_weight <= 1.0:
+            raise ValueError("energy_weight must be in [0, 1]")
+        if offload_threshold < 0:
+            raise ValueError("offload_threshold must be non-negative")
+        self.energy_parameters = energy_parameters or ConsumerEnergyParameters.chromebook()
+        self.host_model = ConsumerEnergyModel(self.energy_parameters)
+        self.offload_engine = offload_engine or PimOffloadEngine(self.energy_parameters)
+        self.energy_weight = energy_weight
+        self.offload_threshold = offload_threshold
+
+    def plan(self, kernel: KernelDescriptor) -> OffloadDecision:
+        """Estimate host and PIM costs for ``kernel`` and pick a target."""
+        phase = kernel.as_phase()
+        host_account = self.host_model.phase_account(phase)
+
+        site_kinds = [ComputeSiteKind.GENERAL_PURPOSE_CORE]
+        if kernel.has_fixed_function_accelerator:
+            site_kinds.append(ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR)
+
+        best_kind = None
+        best_account = None
+        best_score = None
+        for kind in site_kinds:
+            # Reuse the per-phase PIM model directly to avoid building a
+            # whole workload around a single kernel.
+            compute_site = (
+                PimComputeSite.in_order_core()
+                if kind is ComputeSiteKind.GENERAL_PURPOSE_CORE
+                else PimComputeSite.fixed_function_accelerator()
+            )
+            account = self.offload_engine.pim_phase_account(phase, compute_site)
+            score = self._score(account.time_s, account.total_j)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_kind = kind
+                best_account = account
+
+        host_score = self._score(host_account.time_s, host_account.total_j)
+        improvement = (host_score - best_score) / host_score if host_score > 0 else 0.0
+
+        if improvement > self.offload_threshold:
+            target = (
+                ExecutionTarget.PIM_CORE
+                if best_kind is ComputeSiteKind.GENERAL_PURPOSE_CORE
+                else ExecutionTarget.PIM_ACCELERATOR
+            )
+        else:
+            target = ExecutionTarget.HOST
+        return OffloadDecision(
+            kernel=kernel,
+            target=target,
+            host_time_s=host_account.time_s,
+            pim_time_s=best_account.time_s,
+            host_energy_j=host_account.total_j,
+            pim_energy_j=best_account.total_j,
+        )
+
+    def _score(self, time_s: float, energy_j: float) -> float:
+        """Weighted geometric blend of time and energy (lower is better)."""
+        time_term = max(time_s, 1e-12)
+        energy_term = max(energy_j, 1e-15)
+        return (time_term ** (1.0 - self.energy_weight)) * (energy_term ** self.energy_weight)

@@ -1,0 +1,144 @@
+"""Bitmap indices over dictionary-encoded columns.
+
+A bitmap index stores, for every distinct value of a column, a bit vector
+with one bit per row that is set when the row holds that value.  Predicates
+over indexed columns become bulk bitwise operations over whole bit vectors:
+
+* ``col = v``                    -> the bitmap of ``v``
+* ``col IN (v1, v2, ...)``       -> OR of the bitmaps
+* ``p1 AND p2`` / ``p1 OR p2``   -> AND / OR of the predicate results
+* ``COUNT(*)``                   -> population count of the final bitmap
+
+This module provides the index structure and the *functional* evaluation
+(the actual result bits); the latency/energy of executing the bulk
+operations on the CPU or on Ambit is attributed by
+:mod:`repro.database.queries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.database.tables import ColumnTable
+
+
+@dataclass
+class BitmapPlan:
+    """The bulk-operation plan produced by compiling a predicate.
+
+    Attributes:
+        operations: Sequence of (op, number_of_operand_pairs) entries, e.g.
+            ``[("or", 2), ("and", 1)]`` — the work the execution backend has
+            to account for.
+        result_bits: Row count (length of every bit vector involved).
+    """
+
+    operations: List[Tuple[str, int]]
+    result_bits: int
+
+    @property
+    def total_operations(self) -> int:
+        """Total number of bulk bitwise operations in the plan."""
+        return sum(count for _, count in self.operations)
+
+
+class BitmapIndex:
+    """Bitmap index over one or more columns of a :class:`ColumnTable`."""
+
+    def __init__(self, table: ColumnTable, columns: Iterable[str]) -> None:
+        self.table = table
+        self.bitmaps: Dict[str, Dict[int, np.ndarray]] = {}
+        for column in columns:
+            codes = table.column(column)
+            cardinality = table.cardinalities[column]
+            column_bitmaps: Dict[int, np.ndarray] = {}
+            for value in range(cardinality):
+                bits = (codes == value).astype(np.uint8)
+                column_bitmaps[value] = np.packbits(bits, bitorder="little")
+            self.bitmaps[column] = column_bitmaps
+
+    @property
+    def num_rows(self) -> int:
+        """Rows covered by the index."""
+        return self.table.num_rows
+
+    def indexed_columns(self) -> List[str]:
+        """Names of the indexed columns."""
+        return list(self.bitmaps)
+
+    def bitmap(self, column: str, value: int) -> np.ndarray:
+        """Packed bitmap of ``column = value``."""
+        try:
+            return self.bitmaps[column][value]
+        except KeyError as exc:
+            raise KeyError(f"no bitmap for {column!r} = {value}") from exc
+
+    def storage_bytes(self) -> int:
+        """Total bytes of all bitmaps (the index's memory footprint)."""
+        return sum(
+            bitmap.size for column in self.bitmaps.values() for bitmap in column.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Predicate evaluation
+    # ------------------------------------------------------------------
+    def evaluate_in(self, column: str, values: Sequence[int]) -> Tuple[np.ndarray, BitmapPlan]:
+        """Evaluate ``column IN values``; returns (packed result, plan)."""
+        if not values:
+            raise ValueError("values must not be empty")
+        result = self.bitmap(column, values[0]).copy()
+        for value in values[1:]:
+            result |= self.bitmap(column, value)
+        plan = BitmapPlan(
+            operations=[("or", max(0, len(values) - 1))], result_bits=self.num_rows
+        )
+        return result, plan
+
+    def evaluate_conjunction(
+        self, predicates: Sequence[Tuple[str, Sequence[int]]]
+    ) -> Tuple[np.ndarray, BitmapPlan]:
+        """Evaluate ``AND`` of per-column ``IN`` predicates.
+
+        Args:
+            predicates: Sequence of (column, values) pairs.
+
+        Returns:
+            (packed result bitmap, bulk-operation plan).
+        """
+        if not predicates:
+            raise ValueError("predicates must not be empty")
+        operations: List[Tuple[str, int]] = []
+        result: np.ndarray = None
+        for column, values in predicates:
+            partial, plan = self.evaluate_in(column, list(values))
+            operations.extend(op for op in plan.operations if op[1] > 0)
+            if result is None:
+                result = partial
+            else:
+                result &= partial
+        if len(predicates) > 1:
+            operations.append(("and", len(predicates) - 1))
+        return result, BitmapPlan(operations=operations, result_bits=self.num_rows)
+
+    @staticmethod
+    def count(packed_bitmap: np.ndarray, num_rows: int) -> int:
+        """COUNT(*) over a packed result bitmap."""
+        bits = np.unpackbits(packed_bitmap, bitorder="little")[:num_rows]
+        return int(bits.sum())
+
+    def as_bulk_vectors(self, column: str) -> Dict[int, BulkBitVector]:
+        """Return the column's bitmaps as :class:`BulkBitVector` objects.
+
+        Used by examples that want to run the index's operations through the
+        Ambit engine functionally.
+        """
+        vectors = {}
+        for value, packed in self.bitmaps[column].items():
+            vector = BulkBitVector(self.num_rows)
+            vector.data[: packed.size] = packed
+            vectors[value] = vector
+        return vectors

@@ -1,0 +1,184 @@
+"""BitWeaving/V: vertical bit-parallel column layout and predicate scans.
+
+BitWeaving (Li & Patel, SIGMOD 2013) stores a column of ``k``-bit codes as
+``k`` bit planes: plane ``i`` holds bit ``i`` of every row's code.  A
+predicate such as ``col < c`` is then evaluated with a constant number of
+bulk bitwise operations per plane, independent of how many rows share a
+word — exactly the kind of bulk bitwise workload Ambit accelerates.
+
+The classic bit-serial comparison recurrence (MSB first) is::
+
+    lt = 0; eq = ~0
+    for i in MSB..LSB:
+        lt |= eq & ~plane_i & c_i        # code bit 0 where constant bit 1
+        eq &= ~(plane_i ^ c_i)           # still equal on this prefix
+    result(col <  c) = lt
+    result(col == c) = eq
+    result(col <= c) = lt | eq
+
+Each plane step costs a handful of bulk AND/OR/NOT operations; the plan
+object records exactly how many of each, so the execution backends can
+attribute latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.database.tables import ColumnTable
+
+
+@dataclass
+class ScanPlan:
+    """Bulk-operation plan of one BitWeaving predicate scan.
+
+    Attributes:
+        operations: Counts of bulk bitwise operations by kind.
+        result_bits: Rows covered (bit-vector length of every operation).
+        planes_touched: Number of bit planes the scan read.
+    """
+
+    operations: Dict[str, int] = field(default_factory=dict)
+    result_bits: int = 0
+    planes_touched: int = 0
+
+    def add(self, op: str, count: int = 1) -> None:
+        """Add ``count`` operations of kind ``op`` to the plan."""
+        self.operations[op] = self.operations.get(op, 0) + count
+
+    @property
+    def total_operations(self) -> int:
+        """Total bulk bitwise operations in the plan."""
+        return sum(self.operations.values())
+
+
+class BitWeavingColumn:
+    """One column stored in the BitWeaving/V vertical layout."""
+
+    def __init__(self, codes: np.ndarray, num_bits: int) -> None:
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError("codes must be one-dimensional")
+        if num_bits <= 0 or num_bits > 32:
+            raise ValueError("num_bits must be in [1, 32]")
+        if codes.size and codes.max() >= (1 << num_bits):
+            raise ValueError("codes do not fit in num_bits")
+        if codes.size and codes.min() < 0:
+            raise ValueError("codes must be non-negative")
+        self.num_rows = codes.size
+        self.num_bits = num_bits
+        # planes[i] is the packed bit plane of bit i (LSB = plane 0).
+        self.planes: List[np.ndarray] = []
+        for bit in range(num_bits):
+            plane_bits = ((codes >> bit) & 1).astype(np.uint8)
+            self.planes.append(np.packbits(plane_bits, bitorder="little"))
+
+    @classmethod
+    def from_table(cls, table: ColumnTable, column: str) -> "BitWeavingColumn":
+        """Build the vertical layout of one table column."""
+        return cls(table.column(column), table.column_bits(column))
+
+    def storage_bytes(self) -> int:
+        """Bytes of all bit planes."""
+        return sum(plane.size for plane in self.planes)
+
+    # ------------------------------------------------------------------
+    # Predicate scans
+    # ------------------------------------------------------------------
+    def _packed_length(self) -> int:
+        return (self.num_rows + 7) // 8
+
+    def _ones(self) -> np.ndarray:
+        result = np.full(self._packed_length(), 0xFF, dtype=np.uint8)
+        # Clear padding bits past num_rows.
+        extra = self._packed_length() * 8 - self.num_rows
+        if extra:
+            result[-1] = (1 << (8 - extra)) - 1 if (8 - extra) else 0
+        return result
+
+    def _zeros(self) -> np.ndarray:
+        return np.zeros(self._packed_length(), dtype=np.uint8)
+
+    def scan_less_than(self, constant: int) -> Tuple[np.ndarray, ScanPlan]:
+        """Evaluate ``col < constant``; returns (packed result, plan)."""
+        return self._compare(constant, include_equal=False)
+
+    def scan_less_equal(self, constant: int) -> Tuple[np.ndarray, ScanPlan]:
+        """Evaluate ``col <= constant``; returns (packed result, plan)."""
+        return self._compare(constant, include_equal=True)
+
+    def scan_equal(self, constant: int) -> Tuple[np.ndarray, ScanPlan]:
+        """Evaluate ``col == constant``; returns (packed result, plan)."""
+        self._check_constant(constant)
+        plan = ScanPlan(result_bits=self.num_rows, planes_touched=self.num_bits)
+        eq = self._ones()
+        for bit in reversed(range(self.num_bits)):
+            plane = self.planes[bit]
+            constant_bit = (constant >> bit) & 1
+            if constant_bit:
+                eq = eq & plane
+                plan.add("and")
+            else:
+                eq = eq & np.bitwise_not(plane)
+                plan.add("not")
+                plan.add("and")
+        return eq, plan
+
+    def scan_range(self, low: int, high: int) -> Tuple[np.ndarray, ScanPlan]:
+        """Evaluate ``low <= col <= high``; returns (packed result, plan)."""
+        if low > high:
+            raise ValueError("low must be <= high")
+        below_low, plan_low = self._compare(low, include_equal=False)
+        at_most_high, plan_high = self._compare(high, include_equal=True)
+        result = at_most_high & np.bitwise_not(below_low)
+        plan = ScanPlan(result_bits=self.num_rows, planes_touched=2 * self.num_bits)
+        for op, count in plan_low.operations.items():
+            plan.add(op, count)
+        for op, count in plan_high.operations.items():
+            plan.add(op, count)
+        plan.add("not")
+        plan.add("and")
+        return result, plan
+
+    def _check_constant(self, constant: int) -> None:
+        if constant < 0 or constant >= (1 << self.num_bits):
+            raise ValueError(f"constant {constant} does not fit in {self.num_bits} bits")
+
+    def _compare(self, constant: int, include_equal: bool) -> Tuple[np.ndarray, ScanPlan]:
+        self._check_constant(constant)
+        plan = ScanPlan(result_bits=self.num_rows, planes_touched=self.num_bits)
+        lt = self._zeros()
+        eq = self._ones()
+        for bit in reversed(range(self.num_bits)):
+            plane = self.planes[bit]
+            constant_bit = (constant >> bit) & 1
+            if constant_bit:
+                # Rows whose bit is 0 while the constant's bit is 1 are smaller.
+                lt = lt | (eq & np.bitwise_not(plane))
+                plan.add("not")
+                plan.add("and")
+                plan.add("or")
+                eq = eq & plane
+                plan.add("and")
+            else:
+                # Rows whose bit is 1 while the constant's bit is 0 are larger.
+                eq = eq & np.bitwise_not(plane)
+                plan.add("not")
+                plan.add("and")
+        if include_equal:
+            result = lt | eq
+            plan.add("or")
+        else:
+            result = lt
+        return result, plan
+
+    # ------------------------------------------------------------------
+    # Reference check
+    # ------------------------------------------------------------------
+    def reference_scan(self, codes: np.ndarray, predicate) -> np.ndarray:
+        """Packed result of evaluating ``predicate`` row by row (for tests)."""
+        bits = predicate(np.asarray(codes)).astype(np.uint8)
+        return np.packbits(bits, bitorder="little")

@@ -1,0 +1,184 @@
+"""Per-bank state machine and functional storage.
+
+A bank groups multiple subarrays, has a single global row decoder and a
+global sense-amplifier interface to the chip's I/O, and can have at most one
+row open at a time.  The bank tracks which row is open so the controller's
+latency accounting distinguishes row hits, row misses, and closed-bank
+accesses — the distinction the paper's data-movement-cost arguments (random
+vs. streaming access) build on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.subarray import Subarray
+
+
+class BankState(enum.Enum):
+    """Bank-level state: either all rows closed or exactly one row open."""
+
+    PRECHARGED = "precharged"
+    ACTIVE = "active"
+
+
+class Bank:
+    """One DRAM bank: several subarrays plus bank-level open-row state.
+
+    Args:
+        subarrays: Number of subarrays in the bank.
+        rows_per_subarray: Rows per subarray.
+        row_size_bytes: Bytes per row.
+        index: Bank index within its rank (for diagnostics).
+    """
+
+    def __init__(
+        self,
+        subarrays: int,
+        rows_per_subarray: int,
+        row_size_bytes: int,
+        index: int = 0,
+    ) -> None:
+        if subarrays <= 0:
+            raise ValueError("subarrays must be positive")
+        self.index = index
+        self.rows_per_subarray = rows_per_subarray
+        self.row_size_bytes = row_size_bytes
+        self.subarrays: List[Subarray] = [
+            Subarray(rows_per_subarray, row_size_bytes, index=i) for i in range(subarrays)
+        ]
+        self.state = BankState.PRECHARGED
+        self._open_row: Optional[int] = None
+        # Counters used by the controller's statistics.
+        self.activations = 0
+        self.precharges = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Total rows in the bank."""
+        return len(self.subarrays) * self.rows_per_subarray
+
+    def locate(self, row: int) -> Tuple[Subarray, int]:
+        """Map a bank-level row index to (subarray, local row index)."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        subarray_index, local_row = divmod(row, self.rows_per_subarray)
+        return self.subarrays[subarray_index], local_row
+
+    def same_subarray(self, row_a: int, row_b: int) -> bool:
+        """True when the two bank-level rows live in the same subarray."""
+        return row_a // self.rows_per_subarray == row_b // self.rows_per_subarray
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Bank-level index of the open row, or None when precharged."""
+        return self._open_row
+
+    # ------------------------------------------------------------------
+    # Conventional commands
+    # ------------------------------------------------------------------
+    def activate(self, row: int) -> None:
+        """Open ``row`` (the bank must be precharged)."""
+        if self.state is BankState.ACTIVE:
+            raise RuntimeError(
+                f"bank {self.index}: ACT issued while row {self._open_row} is open"
+            )
+        subarray, local_row = self.locate(row)
+        subarray.activate(local_row)
+        self._open_row = row
+        self.state = BankState.ACTIVE
+        self.activations += 1
+
+    def precharge(self) -> None:
+        """Close the open row (no-op if already precharged)."""
+        if self.state is BankState.ACTIVE:
+            subarray, _ = self.locate(self._open_row)  # type: ignore[arg-type]
+            subarray.precharge()
+            self.precharges += 1
+        self._open_row = None
+        self.state = BankState.PRECHARGED
+
+    def read(self, row: int, column: int, length: int = 64) -> np.ndarray:
+        """Read ``length`` bytes at ``column`` (byte offset) from ``row``.
+
+        The row must already be open; the controller is responsible for
+        issuing the activation.
+        """
+        self._require_open(row)
+        subarray, local_row = self.locate(row)
+        return subarray.read_row_slice(local_row, column, length)
+
+    def write(self, row: int, column: int, data: np.ndarray) -> None:
+        """Write ``data`` at byte offset ``column`` into the open ``row``."""
+        self._require_open(row)
+        subarray, local_row = self.locate(row)
+        subarray.write_row_slice(local_row, column, data)
+
+    def _require_open(self, row: int) -> None:
+        if self.state is not BankState.ACTIVE or self._open_row != row:
+            raise RuntimeError(
+                f"bank {self.index}: access to row {row} but open row is {self._open_row}"
+            )
+
+    # ------------------------------------------------------------------
+    # Whole-row access (used by the PIM engines and tests)
+    # ------------------------------------------------------------------
+    def read_row(self, row: int) -> np.ndarray:
+        """Return a copy of the full contents of ``row`` (no state change)."""
+        subarray, local_row = self.locate(row)
+        return subarray.read_row(local_row)
+
+    def write_row(self, row: int, data: np.ndarray) -> None:
+        """Directly overwrite the full contents of ``row`` (no state change)."""
+        subarray, local_row = self.locate(row)
+        subarray.write_row(local_row, data)
+
+    # ------------------------------------------------------------------
+    # PIM primitives
+    # ------------------------------------------------------------------
+    def aap(self, source_row: int, dest_row: int) -> None:
+        """ACTIVATE ``source_row``, ACTIVATE ``dest_row``, PRECHARGE.
+
+        Both rows must be in the same subarray (the sense amplifiers are
+        local); the destination ends up with the source's contents.
+        """
+        if not self.same_subarray(source_row, dest_row):
+            raise ValueError(
+                "AAP requires source and destination rows in the same subarray"
+            )
+        if self.state is BankState.ACTIVE:
+            raise RuntimeError("AAP issued while a row is open; precharge first")
+        subarray, local_source = self.locate(source_row)
+        _, local_dest = self.locate(dest_row)
+        subarray.activate(local_source)
+        subarray.activate_onto_open_buffer(local_dest)
+        subarray.precharge()
+        self.activations += 2
+        self.precharges += 1
+
+    def triple_row_activate(self, row_a: int, row_b: int, row_c: int) -> np.ndarray:
+        """Simultaneously activate three same-subarray rows (Ambit TRA).
+
+        Returns the bitwise majority that the charge sharing produces; all
+        three rows are overwritten with it.
+        """
+        if not (self.same_subarray(row_a, row_b) and self.same_subarray(row_a, row_c)):
+            raise ValueError("TRA requires all three rows in the same subarray")
+        if self.state is BankState.ACTIVE:
+            raise RuntimeError("TRA issued while a row is open; precharge first")
+        subarray, local_a = self.locate(row_a)
+        _, local_b = self.locate(row_b)
+        _, local_c = self.locate(row_c)
+        result = subarray.triple_activate(local_a, local_b, local_c)
+        subarray.precharge()
+        self.activations += 1
+        self.precharges += 1
+        return result

@@ -1,0 +1,89 @@
+"""DRAM command vocabulary, including the PIM command extensions.
+
+Conventional commands (ACT, PRE, RD, WR, REF) are what a standard memory
+controller issues.  The PIM extensions are the two command sequences the
+paper's "minimally changing memory chips" approach relies on:
+
+* ``AAP`` — ACTIVATE source row, immediately ACTIVATE destination row,
+  PRECHARGE.  This copies a row through the sense amplifiers and is the
+  building block of RowClone-FPM and of every Ambit operation.
+* ``TRA`` — triple-row activation: simultaneously activate three rows of a
+  designated subarray region so charge sharing computes the bitwise
+  majority, which yields AND/OR depending on the third row's initial value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandKind(enum.Enum):
+    """All command types the model's memory controller can issue."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+    AAP = "AAP"
+    TRA = "TRA"
+
+    @property
+    def is_pim(self) -> bool:
+        """True for the PIM command extensions (AAP / TRA)."""
+        return self in (CommandKind.AAP, CommandKind.TRA)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command addressed to a specific bank.
+
+    Attributes:
+        kind: Which command this is.
+        channel: Channel index.
+        rank: Rank index within the channel.
+        bank: Bank index within the rank.
+        row: Row address (for ACT/AAP/TRA: the primary/source row).
+        column: Column address in 64 B granularity (for RD/WR).
+        aux_row: Secondary row (AAP destination, or TRA's second row).
+        aux_row2: Tertiary row (TRA's third row).
+    """
+
+    kind: CommandKind
+    channel: int = 0
+    rank: int = 0
+    bank: int = 0
+    row: Optional[int] = None
+    column: Optional[int] = None
+    aux_row: Optional[int] = None
+    aux_row2: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        needs_row = (
+            CommandKind.ACTIVATE,
+            CommandKind.AAP,
+            CommandKind.TRA,
+        )
+        if self.kind in needs_row and self.row is None:
+            raise ValueError(f"{self.kind.value} requires a row address")
+        if self.kind in (CommandKind.READ, CommandKind.WRITE) and self.column is None:
+            raise ValueError(f"{self.kind.value} requires a column address")
+        if self.kind is CommandKind.AAP and self.aux_row is None:
+            raise ValueError("AAP requires a destination row (aux_row)")
+        if self.kind is CommandKind.TRA and (self.aux_row is None or self.aux_row2 is None):
+            raise ValueError("TRA requires three row addresses")
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``AAP ch0/ra0/ba3 r12->r840``."""
+        location = f"ch{self.channel}/ra{self.rank}/ba{self.bank}"
+        if self.kind is CommandKind.AAP:
+            return f"AAP {location} r{self.row}->r{self.aux_row}"
+        if self.kind is CommandKind.TRA:
+            return f"TRA {location} r{self.row},r{self.aux_row},r{self.aux_row2}"
+        if self.kind in (CommandKind.READ, CommandKind.WRITE):
+            return f"{self.kind.value} {location} r{self.row} c{self.column}"
+        if self.kind is CommandKind.ACTIVATE:
+            return f"ACT {location} r{self.row}"
+        return f"{self.kind.value} {location}"

@@ -1,0 +1,100 @@
+"""DRAM refresh overhead model.
+
+Refresh matters to the paper's story in two ways: it is part of the
+background cost every DRAM-based design pays (so the analytical bandwidth
+efficiencies used elsewhere already discount it), and in-DRAM computing
+mechanisms must interleave with it — an AAP-heavy bulk operation cannot
+postpone refresh indefinitely.  The model below quantifies the fraction of
+time and bandwidth a device spends refreshing and the energy that costs, so
+benches and users can check that the efficiency factors used by the
+controller's streaming model are consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.energy import DramEnergyParameters
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimingParameters
+
+
+@dataclass(frozen=True)
+class RefreshOverhead:
+    """Summary of the refresh burden on one rank.
+
+    Attributes:
+        time_fraction: Fraction of wall-clock time the rank is unavailable
+            because a refresh command is in flight.
+        commands_per_second: REF commands issued per second.
+        power_w: Average power drawn by refresh activity.
+        bandwidth_loss_bytes_per_s: Peak bandwidth lost to refresh.
+    """
+
+    time_fraction: float
+    commands_per_second: float
+    power_w: float
+    bandwidth_loss_bytes_per_s: float
+
+
+class RefreshScheduler:
+    """Computes steady-state refresh overheads for a DRAM configuration.
+
+    Args:
+        geometry: Device organization (per-rank overheads are reported).
+        timing: Timing parameters providing ``tREFI`` and ``tRFC``.
+        energy: Energy parameters providing the per-REF energy.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        timing: Optional[DramTimingParameters] = None,
+        energy: Optional[DramEnergyParameters] = None,
+    ) -> None:
+        self.geometry = geometry or DramGeometry.ddr3_dimm()
+        self.timing = timing or DramTimingParameters.ddr3_1600()
+        self.energy = energy or DramEnergyParameters.ddr3_1600()
+
+    def overhead(self) -> RefreshOverhead:
+        """Steady-state refresh overhead of one rank."""
+        timing = self.timing
+        commands_per_second = 1e9 / timing.t_refi_ns
+        time_fraction = timing.t_rfc_ns / timing.t_refi_ns
+        power_w = commands_per_second * self.energy.refresh_energy_j
+        per_channel_bw = timing.channel_bandwidth_bytes_per_s(
+            self.geometry.channel_width_bits
+        )
+        return RefreshOverhead(
+            time_fraction=time_fraction,
+            commands_per_second=commands_per_second,
+            power_w=power_w,
+            bandwidth_loss_bytes_per_s=per_channel_bw * time_fraction,
+        )
+
+    def refresh_energy_per_second_j(self) -> float:
+        """Energy spent refreshing one rank for one second."""
+        return self.overhead().power_w
+
+    def available_time_fraction(self) -> float:
+        """Fraction of time the rank can serve requests or PIM operations."""
+        return 1.0 - self.overhead().time_fraction
+
+    def max_postponed_operations(self, operation_ns: float, max_postponed_refreshes: int = 8) -> int:
+        """How many back-to-back in-DRAM operations fit before refresh must run.
+
+        JEDEC allows postponing up to eight REF commands; a PIM-aware
+        controller can therefore run a burst of AAP/TRA operations of up to
+        ``8 * tREFI`` before it must yield the bank for refresh.
+
+        Args:
+            operation_ns: Duration of one in-DRAM operation (e.g. one AAP).
+            max_postponed_refreshes: REF commands that may be deferred.
+        """
+        if operation_ns <= 0:
+            raise ValueError("operation_ns must be positive")
+        if max_postponed_refreshes < 0:
+            raise ValueError("max_postponed_refreshes must be non-negative")
+        window_ns = self.timing.t_refi_ns * max_postponed_refreshes
+        return int(window_ns // operation_ns)

@@ -1,0 +1,36 @@
+"""Graph container, synthetic generators, and the five Tesseract workloads.
+
+Tesseract is evaluated on five graph-processing workloads over large
+real-world graphs.  The graphs themselves are not redistributable, so this
+subpackage provides synthetic generators with the same structural knobs
+(size, average degree, skew) and reference implementations of the five
+algorithms, each of which also exposes the *work profile* (iterations,
+active vertices, traversed edges) that the performance models consume.
+"""
+
+from repro.graph.graph import CsrGraph
+from repro.graph.generators import erdos_renyi, regular_grid, rmat
+from repro.graph.algorithms import (
+    WorkProfile,
+    average_teenage_follower,
+    breadth_first_search,
+    pagerank,
+    single_source_shortest_paths,
+    weakly_connected_components,
+)
+from repro.graph.partition import GraphPartition, partition_graph
+
+__all__ = [
+    "CsrGraph",
+    "GraphPartition",
+    "WorkProfile",
+    "average_teenage_follower",
+    "breadth_first_search",
+    "erdos_renyi",
+    "pagerank",
+    "partition_graph",
+    "regular_grid",
+    "rmat",
+    "single_source_shortest_paths",
+    "weakly_connected_components",
+]

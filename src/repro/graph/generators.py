@@ -1,0 +1,106 @@
+"""Synthetic graph generators.
+
+The Tesseract evaluation uses large real-world graphs (social networks,
+web crawls) whose defining structural property is a heavy-tailed degree
+distribution.  The R-MAT generator reproduces that skew with controllable
+size and average degree; the Erdős–Rényi and grid generators provide
+un-skewed and regular counterpoints for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import CsrGraph
+
+
+def rmat(
+    scale: int,
+    avg_degree: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+) -> CsrGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Args:
+        scale: log2 of the number of vertices.
+        avg_degree: Average out-degree (total edges = vertices * avg_degree).
+        a: Probability mass of the top-left partition quadrant.
+        b: Probability mass of the top-right quadrant.
+        c: Probability mass of the bottom-left quadrant
+            (the remaining mass goes to the bottom-right quadrant).
+        seed: RNG seed.
+
+    Returns:
+        A directed :class:`CsrGraph` with a heavy-tailed degree distribution.
+    """
+    if scale <= 0 or scale > 30:
+        raise ValueError("scale must be in (0, 30]")
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative and sum to <= 1")
+    num_vertices = 1 << scale
+    num_edges = num_vertices * avg_degree
+    rng = np.random.default_rng(seed)
+
+    sources = np.zeros(num_edges, dtype=np.int64)
+    destinations = np.zeros(num_edges, dtype=np.int64)
+    # Recursively pick a quadrant for every bit of the vertex ids.
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        src_bit = (r >= a + b).astype(np.int64)
+        # Destination bit is 1 in quadrants b and d.
+        dst_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        sources = (sources << 1) | src_bit
+        destinations = (destinations << 1) | dst_bit
+
+    # Permute vertex ids so the skew is not correlated with the id order.
+    permutation = rng.permutation(num_vertices)
+    sources = permutation[sources]
+    destinations = permutation[destinations]
+    return CsrGraph.from_arrays(num_vertices, sources, destinations)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    avg_degree: int = 16,
+    seed: Optional[int] = None,
+) -> CsrGraph:
+    """Generate a uniform random directed graph (G(n, m) model)."""
+    if num_vertices <= 0 or avg_degree <= 0:
+        raise ValueError("num_vertices and avg_degree must be positive")
+    rng = np.random.default_rng(seed)
+    num_edges = num_vertices * avg_degree
+    sources = rng.integers(0, num_vertices, size=num_edges)
+    destinations = rng.integers(0, num_vertices, size=num_edges)
+    return CsrGraph.from_arrays(num_vertices, sources, destinations)
+
+
+def regular_grid(side: int) -> CsrGraph:
+    """Generate a ``side x side`` 4-neighbour grid (each edge both ways).
+
+    Useful for tests: degrees, components, and shortest paths all have
+    closed-form expectations on a grid.
+    """
+    if side <= 0:
+        raise ValueError("side must be positive")
+    num_vertices = side * side
+    edges = []
+    for row in range(side):
+        for column in range(side):
+            vertex = row * side + column
+            if column + 1 < side:
+                right = vertex + 1
+                edges.append((vertex, right))
+                edges.append((right, vertex))
+            if row + 1 < side:
+                down = vertex + side
+                edges.append((vertex, down))
+                edges.append((down, vertex))
+    return CsrGraph.from_edges(num_vertices, edges)

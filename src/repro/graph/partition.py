@@ -1,0 +1,140 @@
+"""Partitioning graphs across memory vaults.
+
+Tesseract assigns each vertex (and its outgoing edge list and state) to one
+vault; a PIM core only touches its own vault's memory directly and uses
+remote function calls for edges that cross partitions.  The partition
+therefore determines three quantities the performance model needs:
+
+* per-vault vertex and edge counts (load balance),
+* the number of *local* edges (destination in the same vault), and
+* the number of *remote* edges, split by whether the destination vault is
+  in the same cube or a different cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import CsrGraph
+
+
+@dataclass
+class GraphPartition:
+    """A vertex-to-vault assignment plus the derived traffic statistics.
+
+    Attributes:
+        num_vaults: Number of partitions (vaults).
+        vaults_per_cube: Vaults per memory cube (for remote-edge locality).
+        assignment: Per-vertex vault index.
+        vertex_counts: Vertices per vault.
+        edge_counts: Out-edges whose source is in each vault.
+        local_edges: Edges whose source and destination share a vault.
+        intra_cube_remote_edges: Edges crossing vaults within one cube.
+        inter_cube_remote_edges: Edges crossing cubes.
+    """
+
+    num_vaults: int
+    vaults_per_cube: int
+    assignment: np.ndarray
+    vertex_counts: np.ndarray
+    edge_counts: np.ndarray
+    local_edges: int
+    intra_cube_remote_edges: int
+    inter_cube_remote_edges: int
+
+    @property
+    def total_edges(self) -> int:
+        """Total edges across all vaults."""
+        return int(self.edge_counts.sum())
+
+    @property
+    def remote_edges(self) -> int:
+        """Edges whose destination lives in a different vault."""
+        return self.intra_cube_remote_edges + self.inter_cube_remote_edges
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of edges that require a remote function call."""
+        total = self.total_edges
+        return self.remote_edges / total if total else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean edge load across vaults (1.0 is perfectly balanced)."""
+        if self.edge_counts.size == 0 or self.edge_counts.sum() == 0:
+            return 1.0
+        mean = self.edge_counts.mean()
+        return float(self.edge_counts.max() / mean) if mean else 1.0
+
+
+def partition_graph(
+    graph: CsrGraph,
+    num_vaults: int,
+    vaults_per_cube: int = 32,
+    strategy: str = "hash",
+    seed: Optional[int] = None,
+) -> GraphPartition:
+    """Partition ``graph`` over ``num_vaults`` vaults.
+
+    Args:
+        graph: The graph to partition.
+        num_vaults: Number of vaults (partitions).
+        vaults_per_cube: How many consecutive vault indices share a cube.
+        strategy: ``"hash"`` (pseudo-random assignment, the Tesseract
+            default), ``"range"`` (contiguous vertex ranges, better locality
+            for meshes), or ``"degree_balanced"`` (greedy assignment that
+            balances out-edge counts).
+        seed: RNG seed for the hash strategy.
+    """
+    if num_vaults <= 0:
+        raise ValueError("num_vaults must be positive")
+    if vaults_per_cube <= 0:
+        raise ValueError("vaults_per_cube must be positive")
+    n = graph.num_vertices
+    degrees = graph.out_degree()
+
+    if strategy == "hash":
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, num_vaults, size=n, dtype=np.int64)
+    elif strategy == "range":
+        assignment = np.minimum(
+            (np.arange(n, dtype=np.int64) * num_vaults) // max(1, n), num_vaults - 1
+        )
+    elif strategy == "degree_balanced":
+        order = np.argsort(degrees)[::-1]
+        loads = np.zeros(num_vaults, dtype=np.int64)
+        assignment = np.zeros(n, dtype=np.int64)
+        for vertex in order:
+            target = int(np.argmin(loads))
+            assignment[vertex] = target
+            loads[target] += degrees[vertex]
+    else:
+        raise ValueError(f"unknown partition strategy {strategy!r}")
+
+    sources = graph.edge_sources()
+    source_vaults = assignment[sources]
+    destination_vaults = assignment[graph.indices]
+    local_mask = source_vaults == destination_vaults
+    same_cube_mask = (source_vaults // vaults_per_cube) == (
+        destination_vaults // vaults_per_cube
+    )
+    local_edges = int(local_mask.sum())
+    intra_cube_remote = int((~local_mask & same_cube_mask).sum())
+    inter_cube_remote = int((~local_mask & ~same_cube_mask).sum())
+
+    vertex_counts = np.bincount(assignment, minlength=num_vaults)
+    edge_counts = np.bincount(source_vaults, minlength=num_vaults)
+
+    return GraphPartition(
+        num_vaults=num_vaults,
+        vaults_per_cube=vaults_per_cube,
+        assignment=assignment,
+        vertex_counts=vertex_counts,
+        edge_counts=edge_counts,
+        local_edges=local_edges,
+        intra_cube_remote_edges=intra_cube_remote,
+        inter_cube_remote_edges=inter_cube_remote,
+    )

@@ -1,0 +1,205 @@
+"""Functional set-associative caches and a multi-level hierarchy.
+
+The functional model is used by tests and by the small end-to-end examples;
+the analytical paths of the CPU model only need the per-level latencies and
+energies, which live in :class:`CacheConfig`.
+
+The cache model captures the behaviour the paper's motivation rests on:
+much of the data brought into the caches by data-intensive workloads is
+never reused, so the energy of moving it through the hierarchy is wasted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Configuration of one cache level.
+
+    Attributes:
+        name: Level name ("L1", "L2", "LLC", ...).
+        size_bytes: Total capacity.
+        associativity: Ways per set.
+        line_size_bytes: Cache line size.
+        hit_latency_ns: Latency of a hit at this level.
+        energy_per_access_j: Dynamic energy of one access (tag + data).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size_bytes: int = 64
+    hit_latency_ns: float = 1.0
+    energy_per_access_j: float = 1.0e-11
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_size_bytes <= 0:
+            raise ValueError("cache sizes and associativity must be positive")
+        if self.size_bytes % (self.associativity * self.line_size_bytes) != 0:
+            raise ValueError("size must be divisible by associativity * line size")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.associativity * self.line_size_bytes)
+
+    @classmethod
+    def skylake_l1(cls) -> "CacheConfig":
+        """32 KiB, 8-way L1 data cache."""
+        return cls("L1", 32 * 1024, 8, hit_latency_ns=1.0, energy_per_access_j=0.5e-11)
+
+    @classmethod
+    def skylake_l2(cls) -> "CacheConfig":
+        """256 KiB, 4-way private L2."""
+        return cls("L2", 256 * 1024, 4, hit_latency_ns=3.5, energy_per_access_j=2.0e-11)
+
+    @classmethod
+    def skylake_llc(cls) -> "CacheConfig":
+        """8 MiB, 16-way shared last-level cache."""
+        return cls("LLC", 8 * 1024 * 1024, 16, hit_latency_ns=12.0, energy_per_access_j=6.0e-11)
+
+
+@dataclass
+class CacheLevelStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses at this level."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0 when never accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative, write-back, write-allocate cache with LRU."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheLevelStats()
+        # sets[set_index] maps tag -> dirty flag, ordered by recency (LRU first).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_size_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access ``address``; returns True on hit.
+
+        On a miss the line is allocated (write-allocate); the caller is
+        responsible for modelling the fill from the next level.  Evictions
+        of dirty lines increment the ``writebacks`` counter.
+        """
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.config.associativity:
+            _, dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        cache_set[tag] = is_write
+        return False
+
+    def contains(self, address: int) -> bool:
+        """True when the line holding ``address`` is currently resident."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for flag in cache_set.values() if flag)
+            cache_set.clear()
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+
+class CacheHierarchy:
+    """A chain of cache levels backed by main memory.
+
+    Args:
+        levels: Cache configurations ordered from closest (L1) to farthest.
+        memory_latency_ns: Latency of a fill from main memory.
+        memory_energy_per_access_j: Energy of one 64 B main-memory access
+            (activation share + burst + I/O), used for the functional path.
+    """
+
+    def __init__(
+        self,
+        levels: Optional[List[CacheConfig]] = None,
+        memory_latency_ns: float = 80.0,
+        memory_energy_per_access_j: float = 1.5e-8,
+    ) -> None:
+        if levels is None:
+            levels = [
+                CacheConfig.skylake_l1(),
+                CacheConfig.skylake_l2(),
+                CacheConfig.skylake_llc(),
+            ]
+        if not levels:
+            raise ValueError("at least one cache level is required")
+        self.caches = [Cache(config) for config in levels]
+        self.memory_latency_ns = memory_latency_ns
+        self.memory_energy_per_access_j = memory_energy_per_access_j
+        self.memory_accesses = 0
+        self.total_latency_ns = 0.0
+        self.total_energy_j = 0.0
+
+    def access(self, address: int, is_write: bool = False) -> str:
+        """Access the hierarchy; returns the name of the level that hit.
+
+        Returns ``"MEM"`` when every level missed.  Latency and energy of
+        the walk are accumulated on the hierarchy object.
+        """
+        latency = 0.0
+        energy = 0.0
+        hit_level = "MEM"
+        for cache in self.caches:
+            latency += cache.config.hit_latency_ns
+            energy += cache.config.energy_per_access_j
+            if cache.access(address, is_write):
+                hit_level = cache.config.name
+                break
+        else:
+            latency += self.memory_latency_ns
+            energy += self.memory_energy_per_access_j
+            self.memory_accesses += 1
+        self.total_latency_ns += latency
+        self.total_energy_j += energy
+        return hit_level
+
+    def stats_by_level(self) -> Dict[str, CacheLevelStats]:
+        """Return per-level statistics keyed by level name."""
+        return {cache.config.name: cache.stats for cache in self.caches}
+
+    def flush(self) -> None:
+        """Invalidate every level."""
+        for cache in self.caches:
+            cache.flush()

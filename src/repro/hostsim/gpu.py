@@ -1,0 +1,108 @@
+"""Analytical model of a discrete GPU baseline.
+
+The Ambit comparison point is an NVIDIA GTX 745: a small Maxwell-class card
+whose bulk-bitwise throughput, like the CPU's, is bound by its memory
+bandwidth (28.8 GB/s on a 128-bit DDR3 interface).  GPUs avoid the
+read-for-ownership traffic of write-allocate CPU caches (stores stream
+directly to memory), so their traffic factor is one less than the CPU's for
+two-input operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.metrics import OperationMetrics
+
+#: Bytes moved on the GPU memory interface per byte of result.
+GPU_TRAFFIC_FACTORS: Dict[str, float] = {
+    "not": 2.0,   # read A, write C
+    "and": 3.0,   # read A, read B, write C
+    "or": 3.0,
+    "nand": 3.0,
+    "nor": 3.0,
+    "xor": 3.0,
+    "xnor": 3.0,
+    "copy": 2.0,
+    "fill": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class GpuParameters:
+    """GPU configuration.
+
+    Attributes:
+        name: Label for reports.
+        memory_bandwidth_bytes_per_s: Peak DRAM bandwidth of the card.
+        streaming_efficiency: Sustained fraction of peak for bulk kernels.
+        sm_count: Streaming multiprocessors.
+        frequency_ghz: SM clock.
+        int_ops_per_cycle_per_sm: 32-bit integer ops per cycle per SM.
+        energy_per_byte_moved_j: DRAM + on-card interconnect energy per byte.
+        energy_per_op_j: Energy of one 32-bit ALU op.
+        board_static_power_w: Idle/static power of the card.
+    """
+
+    name: str = "gtx745"
+    memory_bandwidth_bytes_per_s: float = 28.8e9
+    streaming_efficiency: float = 0.65
+    sm_count: int = 3
+    frequency_ghz: float = 1.03
+    int_ops_per_cycle_per_sm: int = 128
+    energy_per_byte_moved_j: float = 1.1e-10
+    energy_per_op_j: float = 1.0e-12
+    board_static_power_w: float = 10.0
+
+    @classmethod
+    def gtx745(cls) -> "GpuParameters":
+        """The GTX 745 card used as the Ambit GPU comparison point."""
+        return cls()
+
+
+class HostGpu:
+    """Analytical GPU execution model for bulk operations."""
+
+    def __init__(self, parameters: Optional[GpuParameters] = None) -> None:
+        self.parameters = parameters or GpuParameters.gtx745()
+
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Sustained memory bandwidth for streaming kernels."""
+        return (
+            self.parameters.memory_bandwidth_bytes_per_s
+            * self.parameters.streaming_efficiency
+        )
+
+    def compute_throughput_bytes_per_s(self, op: str) -> float:
+        """Rate at which the SMs can produce result bytes for ``op``."""
+        p = self.parameters
+        # One 32-bit op produces 4 result bytes for single-input ops; two-input
+        # ops need roughly two ops (two loads folded) per 4 bytes.
+        ops_per_4bytes = 1 if op in ("not", "fill", "copy") else 2
+        ops_per_s = p.sm_count * p.frequency_ghz * 1e9 * p.int_ops_per_cycle_per_sm
+        return ops_per_s / ops_per_4bytes * 4
+
+    def bulk_bitwise(self, op: str, num_bytes: int) -> OperationMetrics:
+        """Execute a bulk bitwise operation producing ``num_bytes`` of result."""
+        if op not in GPU_TRAFFIC_FACTORS:
+            raise ValueError(f"unknown bulk operation {op!r}")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        traffic = GPU_TRAFFIC_FACTORS[op] * num_bytes
+        bandwidth_time_s = traffic / self.effective_bandwidth_bytes_per_s()
+        compute_time_s = num_bytes / self.compute_throughput_bytes_per_s(op)
+        latency_s = max(bandwidth_time_s, compute_time_s)
+        energy = (
+            traffic * self.parameters.energy_per_byte_moved_j
+            + (num_bytes // 4) * self.parameters.energy_per_op_j
+            + self.parameters.board_static_power_w * latency_s
+        )
+        return OperationMetrics(
+            name=f"gpu_{op}",
+            latency_ns=latency_s * 1e9,
+            energy_j=energy,
+            bytes_moved_on_channel=int(traffic),
+            bytes_produced=num_bytes,
+            notes=self.parameters.name,
+        )

@@ -1,0 +1,22 @@
+"""RowClone: in-DRAM bulk data copy and initialization.
+
+RowClone (Seshadri et al., MICRO 2013) performs bulk copy and bulk
+initialization entirely inside DRAM by exploiting the row-wide sense
+amplifiers:
+
+* **FPM (Fast-Parallel Mode)** copies one row to another row of the *same
+  subarray* with a single back-to-back activate-activate-precharge (AAP),
+  moving an entire row (8 KiB) in roughly one hundred nanoseconds without
+  any data crossing the channel.
+* **PSM (Pipelined-Serial Mode)** copies between banks through the chip's
+  internal global bus, cache line by cache line — slower than FPM but still
+  avoiding the off-chip channel and the cache hierarchy.
+* **Inter-subarray copies** within a bank fall back to a LISA-style
+  row-buffer-movement chain, modelled as a small multiple of the FPM cost.
+
+Bulk initialization clones a reserved all-zeros (or pattern) row.
+"""
+
+from repro.rowclone.engine import CopyMode, RowCloneEngine
+
+__all__ = ["CopyMode", "RowCloneEngine"]

@@ -1,0 +1,40 @@
+"""3D-stacked memory substrate (HMC-like) for near-memory processing.
+
+A 3D-stacked memory device (Hybrid Memory Cube / High-Bandwidth Memory
+class) stacks DRAM layers on top of a logic layer and connects them with
+through-silicon vias (TSVs).  The properties the paper's second PIM
+approach exploits are:
+
+* the *internal* bandwidth (sum of all vault TSV buses) is several times the
+  *external* bandwidth of the SerDes links to the host, and
+* the logic layer has area and thermal headroom for simple compute —
+  in-order cores or fixed-function accelerators — next to each vault.
+
+Modules:
+
+* :mod:`repro.stacked.vault` — one vault (DRAM partition + TSV bus +
+  optional compute site),
+* :mod:`repro.stacked.logic_layer` — area/power budget of the logic layer
+  and the compute-site types that can be instantiated in it,
+* :mod:`repro.stacked.hmc` — the full stack and multi-stack systems,
+* :mod:`repro.stacked.network` — vault-to-vault and cube-to-cube
+  interconnect model.
+"""
+
+from repro.stacked.hmc import HmcParameters, HmcStack, StackedMemorySystem
+from repro.stacked.logic_layer import ComputeSiteKind, LogicLayerBudget, PimComputeSite
+from repro.stacked.network import InterconnectParameters, StackNetwork
+from repro.stacked.vault import Vault, VaultParameters
+
+__all__ = [
+    "ComputeSiteKind",
+    "HmcParameters",
+    "HmcStack",
+    "InterconnectParameters",
+    "LogicLayerBudget",
+    "PimComputeSite",
+    "StackNetwork",
+    "StackedMemorySystem",
+    "Vault",
+    "VaultParameters",
+]

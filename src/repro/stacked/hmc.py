@@ -1,0 +1,193 @@
+"""The full 3D-stacked memory device and multi-stack systems.
+
+:class:`HmcStack` models one Hybrid-Memory-Cube-class device: a set of
+vaults, the logic layer budget, and the external links to the host.
+:class:`StackedMemorySystem` composes several stacks into the memory system
+of a Tesseract-style machine (one stack per memory partition, connected in
+a mesh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.stacked.logic_layer import LogicLayerBudget
+from repro.stacked.network import InterconnectParameters, StackNetwork
+from repro.stacked.vault import Vault, VaultParameters
+
+
+@dataclass(frozen=True)
+class HmcParameters:
+    """Configuration of one HMC-like stack.
+
+    Defaults follow the HMC 2.0 specification as used in the paper's
+    studies: 8 GiB, 32 vaults, 16 GB/s of TSV bandwidth per vault
+    (512 GB/s aggregate internal), and four external SerDes links totalling
+    320 GB/s.
+
+    Attributes:
+        name: Label for reports.
+        num_vaults: Vaults per stack.
+        vault: Per-vault parameters.
+        external_bandwidth_bytes_per_s: Aggregate link bandwidth to the host.
+        external_link_energy_pj_per_bit: SerDes energy per bit to the host.
+        logic_layer: Area/power budget for PIM logic.
+    """
+
+    name: str = "HMC-2.0"
+    num_vaults: int = 32
+    vault: VaultParameters = VaultParameters()
+    external_bandwidth_bytes_per_s: float = 320e9
+    external_link_energy_pj_per_bit: float = 8.0
+    logic_layer: LogicLayerBudget = LogicLayerBudget()
+
+    @classmethod
+    def hmc2(cls) -> "HmcParameters":
+        """HMC 2.0 with 32 vaults and 320 GB/s of external bandwidth."""
+        return cls()
+
+    @property
+    def internal_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate TSV bandwidth of all vaults."""
+        return self.num_vaults * self.vault.tsv_bandwidth_bytes_per_s
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total DRAM capacity of the stack."""
+        return self.num_vaults * self.vault.capacity_bytes
+
+    @property
+    def total_banks(self) -> int:
+        """Total DRAM banks across all vaults."""
+        return self.num_vaults * self.vault.banks
+
+    @property
+    def bandwidth_amplification(self) -> float:
+        """Ratio of internal to external bandwidth — the PIM opportunity."""
+        return self.internal_bandwidth_bytes_per_s / self.external_bandwidth_bytes_per_s
+
+
+class HmcStack:
+    """One stacked-memory device with its vaults.
+
+    Args:
+        parameters: Stack configuration.
+        with_functional_dram: Give each vault a functional DRAM model
+            (only needed when real bytes must move).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[HmcParameters] = None,
+        with_functional_dram: bool = False,
+    ) -> None:
+        self.parameters = parameters or HmcParameters.hmc2()
+        self.vaults: List[Vault] = [
+            Vault(i, self.parameters.vault, with_functional_dram)
+            for i in range(self.parameters.num_vaults)
+        ]
+
+    # ------------------------------------------------------------------
+    # Bandwidth / latency views
+    # ------------------------------------------------------------------
+    def internal_stream_time_ns(self, num_bytes: int) -> float:
+        """Time to stream ``num_bytes`` using every vault's TSV bus."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.parameters.internal_bandwidth_bytes_per_s * 1e9
+
+    def external_stream_time_ns(self, num_bytes: int) -> float:
+        """Time to stream ``num_bytes`` over the links to the host."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.parameters.external_bandwidth_bytes_per_s * 1e9
+
+    def external_transfer_energy_j(self, num_bytes: int) -> float:
+        """Energy of moving ``num_bytes`` between the stack and the host.
+
+        The data still has to be read from (or written to) the DRAM layers
+        and cross the TSVs before it reaches the SerDes links, so the
+        external cost is the internal cost plus the link energy.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        link_j = num_bytes * 8 * self.parameters.external_link_energy_pj_per_bit * 1e-12
+        return self.internal_transfer_energy_j(num_bytes) + link_j
+
+    def internal_transfer_energy_j(self, num_bytes: int) -> float:
+        """Array + TSV energy of moving ``num_bytes`` inside the stack."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if not self.vaults:
+            return 0.0
+        return self.vaults[0].transfer_energy_j(num_bytes)
+
+    def vault_for_address(self, address: int) -> Vault:
+        """Map an address to its vault (addresses interleave across vaults
+        at 256 B granularity, per the HMC specification's default)."""
+        if address < 0 or address >= self.parameters.capacity_bytes:
+            raise ValueError("address outside the stack's capacity")
+        block = address // 256
+        return self.vaults[block % len(self.vaults)]
+
+
+class StackedMemorySystem:
+    """Several stacks plus the network between them (a Tesseract machine).
+
+    Args:
+        num_stacks: Number of memory cubes.
+        stack_parameters: Per-stack configuration.
+        interconnect: Cube-to-cube/vault-to-vault interconnect parameters.
+    """
+
+    def __init__(
+        self,
+        num_stacks: int = 16,
+        stack_parameters: Optional[HmcParameters] = None,
+        interconnect: Optional[InterconnectParameters] = None,
+    ) -> None:
+        if num_stacks <= 0:
+            raise ValueError("num_stacks must be positive")
+        self.stacks: List[HmcStack] = [
+            HmcStack(stack_parameters) for _ in range(num_stacks)
+        ]
+        self.network = StackNetwork(
+            interconnect or InterconnectParameters.hmc2_mesh(), num_cubes=num_stacks
+        )
+
+    @property
+    def num_stacks(self) -> int:
+        """Number of cubes in the system."""
+        return len(self.stacks)
+
+    @property
+    def num_vaults(self) -> int:
+        """Total vaults across all cubes."""
+        return sum(len(stack.vaults) for stack in self.stacks)
+
+    @property
+    def total_internal_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate TSV bandwidth across every vault of every cube."""
+        return sum(
+            stack.parameters.internal_bandwidth_bytes_per_s for stack in self.stacks
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity across all cubes."""
+        return sum(stack.parameters.capacity_bytes for stack in self.stacks)
+
+    def all_vaults(self) -> List[Vault]:
+        """Flat list of every vault (cube-major order)."""
+        vaults: List[Vault] = []
+        for stack in self.stacks:
+            vaults.extend(stack.vaults)
+        return vaults
+
+    def vault_location(self, flat_index: int) -> tuple:
+        """Return (cube index, vault index within the cube)."""
+        if flat_index < 0 or flat_index >= self.num_vaults:
+            raise IndexError("vault index out of range")
+        per_stack = len(self.stacks[0].vaults)
+        return flat_index // per_stack, flat_index % per_stack

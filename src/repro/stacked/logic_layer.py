@@ -1,0 +1,132 @@
+"""Logic-layer area/power budget and PIM compute sites.
+
+The logic layer of an HMC-like stack already contains the vault
+controllers, the SerDes links, and the internal switch; what is left over
+is the area budget available for PIM logic.  The consumer-workloads study
+(Boroumand et al., ASPLOS 2018) measures how much of that budget a small
+general-purpose PIM core or a set of fixed-function PIM accelerators would
+occupy — the E7 experiment reproduces that accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComputeSiteKind(enum.Enum):
+    """What kind of PIM logic occupies a vault's share of the logic layer."""
+
+    NONE = "none"
+    GENERAL_PURPOSE_CORE = "pim_core"
+    FIXED_FUNCTION_ACCELERATOR = "pim_accelerator"
+
+
+@dataclass(frozen=True)
+class LogicLayerBudget:
+    """Area and power available for PIM logic in one stack's logic layer.
+
+    Default values follow the HMC-like organization used by the
+    consumer-workloads study: the logic layer die is ~68 mm^2 in a 22 nm
+    process; after the vault controllers, switch, and SerDes are accounted
+    for, roughly 50 mm^2 remain, shared by 32 vaults (~1.56 mm^2 per vault).
+    The thermal budget of the stack limits added power to about 10 W.
+
+    Attributes:
+        total_area_mm2: Logic-layer area left for PIM logic (whole stack).
+        num_vaults: Vaults sharing the budget.
+        power_budget_w: Added power the stack can absorb thermally.
+    """
+
+    total_area_mm2: float = 50.0
+    num_vaults: int = 32
+    power_budget_w: float = 10.0
+
+    @property
+    def area_per_vault_mm2(self) -> float:
+        """Area share of one vault."""
+        return self.total_area_mm2 / self.num_vaults
+
+    def area_fraction(self, area_mm2: float) -> float:
+        """Fraction of the per-vault budget that ``area_mm2`` occupies."""
+        if area_mm2 < 0:
+            raise ValueError("area must be non-negative")
+        return area_mm2 / self.area_per_vault_mm2
+
+
+@dataclass(frozen=True)
+class PimComputeSite:
+    """One PIM compute site instantiated in a vault's logic-layer share.
+
+    Attributes:
+        kind: General-purpose core or fixed-function accelerator.
+        area_mm2: Die area of the site.
+        frequency_ghz: Operating clock.
+        ipc: Sustained instructions (or accelerator operations) per cycle.
+        dynamic_power_w: Power while active.
+        energy_per_op_j: Energy per executed operation.
+    """
+
+    kind: ComputeSiteKind
+    area_mm2: float
+    frequency_ghz: float
+    ipc: float
+    dynamic_power_w: float
+    energy_per_op_j: float
+
+    @classmethod
+    def in_order_core(cls) -> "PimComputeSite":
+        """A small low-power general-purpose core (Cortex-A7/A35 class).
+
+        Area ~0.14 mm^2 per core plus 64 KiB of SRAM buffers brings the
+        site to ~0.147 mm^2 in the scaled process — about 9.4% of a vault's
+        1.56 mm^2 share.
+        """
+        return cls(
+            kind=ComputeSiteKind.GENERAL_PURPOSE_CORE,
+            area_mm2=0.147,
+            frequency_ghz=2.0,
+            ipc=1.0,
+            dynamic_power_w=0.12,
+            energy_per_op_j=2.0e-11,
+        )
+
+    @classmethod
+    def fixed_function_accelerator(cls) -> "PimComputeSite":
+        """The set of fixed-function accelerators for the consumer workloads.
+
+        One accelerator instance per target function (texture tiling,
+        compression, quantization/packing, sub-pixel interpolation, motion
+        estimation) totals ~0.55 mm^2 — about 35.4% of a vault's share —
+        but processes its function with an order of magnitude less energy
+        per operation than a general-purpose core.
+        """
+        return cls(
+            kind=ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR,
+            area_mm2=0.553,
+            frequency_ghz=1.0,
+            ipc=4.0,
+            dynamic_power_w=0.20,
+            energy_per_op_j=2.0e-12,
+        )
+
+    @property
+    def ops_per_second(self) -> float:
+        """Sustained operation throughput of the site."""
+        return self.frequency_ghz * 1e9 * self.ipc
+
+    def compute_time_ns(self, ops: int) -> float:
+        """Time to execute ``ops`` operations on this site."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops / self.ops_per_second * 1e9
+
+    def compute_energy_j(self, ops: int) -> float:
+        """Energy to execute ``ops`` operations on this site."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops * self.energy_per_op_j
+
+    def fits(self, budget: LogicLayerBudget) -> bool:
+        """True when the site fits within one vault's area share."""
+        return self.area_mm2 <= budget.area_per_vault_mm2

@@ -1,0 +1,35 @@
+"""Tesseract: a scalable processing-in-memory accelerator for graph analytics.
+
+Tesseract (Ahn et al., ISCA 2015) places a simple in-order core in the
+logic layer of each vault of a 3D-stacked memory system, partitions the
+graph across vaults, and programs the system with non-blocking *remote
+function calls*: instead of pulling a remote vertex's data across the
+network, a core sends the operation to the core that owns the data.
+
+This subpackage provides:
+
+* :mod:`repro.tesseract.core` — PIM core parameters,
+* :mod:`repro.tesseract.message` — the remote-function-call programming
+  interface and a functional vault-parallel runtime used to validate the
+  message-counting model,
+* :mod:`repro.tesseract.runtime` — the analytical performance/energy model
+  of a full Tesseract machine executing a graph workload,
+* :mod:`repro.tesseract.baseline` — the conventional (DDR3 + out-of-order
+  multicore) baseline the paper compares against.
+"""
+
+from repro.tesseract.baseline import ConventionalParameters, ConventionalGraphSystem
+from repro.tesseract.core import PimCoreParameters
+from repro.tesseract.message import RemoteCall, VaultProgramRuntime
+from repro.tesseract.runtime import GraphExecutionResult, TesseractSystem, TesseractParameters
+
+__all__ = [
+    "ConventionalGraphSystem",
+    "ConventionalParameters",
+    "GraphExecutionResult",
+    "PimCoreParameters",
+    "RemoteCall",
+    "TesseractParameters",
+    "TesseractSystem",
+    "VaultProgramRuntime",
+]

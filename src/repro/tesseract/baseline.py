@@ -1,0 +1,194 @@
+"""The conventional-system baseline for graph processing.
+
+The Tesseract comparison point is a high-end server: 32 out-of-order cores
+with a conventional cache hierarchy and a DDR3-based memory system
+providing 102.4 GB/s of peak bandwidth.  Graph analytics on such a machine
+is memory-bound: the edge lists stream from DRAM, and the per-edge access
+to the destination vertex's state is effectively random, so it misses the
+caches whenever the vertex state does not fit in the last-level cache.
+
+The model computes, per iteration of the measured work profile:
+
+* the channel traffic (edge stream + missing vertex accesses at cache-line
+  granularity + vertex state writes),
+* the memory-bound time (traffic over effective bandwidth),
+* the compute-bound time (instructions over aggregate issue rate),
+
+and takes the maximum.  Energy integrates DRAM, cache, and core dynamic
+energy plus the (large) static power of a server-class chip over the
+execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.algorithms import WorkProfile
+from repro.graph.graph import CsrGraph
+from repro.hostsim.energy import HostEnergyModel
+from repro.tesseract.runtime import GraphExecutionResult
+
+
+@dataclass(frozen=True)
+class ConventionalParameters:
+    """Configuration of the conventional (host-based) graph-processing system.
+
+    Attributes:
+        name: Label for reports.
+        cores: Out-of-order core count.
+        frequency_ghz: Core clock.
+        issue_width: Sustained instructions per cycle per core for this
+            pointer-heavy code (well below peak issue width).
+        memory_bandwidth_bytes_per_s: Peak DRAM bandwidth (8 channels of
+            DDR3-1600 in the paper's baseline).
+        random_access_efficiency: Fraction of peak bandwidth achieved by
+            the mixed streaming/random traffic of graph workloads.
+        llc_bytes: Last-level cache capacity (determines how much of the
+            vertex state stays on chip).
+        cache_line_bytes: Line size for the random vertex-state accesses.
+        ops_per_edge: Instructions per traversed edge.
+        ops_per_vertex: Instructions per active vertex per iteration.
+        core_energy_per_op_j: Energy per instruction on the big core
+            (including its share of the cache hierarchy).
+        static_power_w: Static + uncore power of the whole chip.
+    """
+
+    name: str = "DDR3-OoO"
+    cores: int = 32
+    frequency_ghz: float = 4.0
+    issue_width: float = 2.0
+    memory_bandwidth_bytes_per_s: float = 102.4e9
+    random_access_efficiency: float = 0.70
+    llc_bytes: int = 32 * 1024 * 1024
+    cache_line_bytes: int = 64
+    ops_per_edge: int = 16
+    ops_per_vertex: int = 12
+    core_energy_per_op_j: float = 3.0e-10
+    static_power_w: float = 60.0
+
+    @classmethod
+    def ddr3_server(cls) -> "ConventionalParameters":
+        """The 32-core, 102.4 GB/s DDR3 baseline of the Tesseract paper."""
+        return cls()
+
+
+class ConventionalGraphSystem:
+    """Analytical baseline executor for graph work profiles."""
+
+    def __init__(
+        self,
+        parameters: Optional[ConventionalParameters] = None,
+        energy_model: Optional[HostEnergyModel] = None,
+    ) -> None:
+        self.parameters = parameters or ConventionalParameters.ddr3_server()
+        self.energy_model = energy_model or HostEnergyModel.desktop()
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def vertex_state_miss_rate(
+        self,
+        graph: CsrGraph,
+        profile: WorkProfile,
+        effective_num_vertices: Optional[int] = None,
+    ) -> float:
+        """Probability that a random destination-vertex access misses the LLC.
+
+        Modeled as the fraction of the per-vertex state that does not fit in
+        the last-level cache: for graphs much larger than the cache this
+        approaches 1, for small graphs it approaches 0 — which is exactly
+        why PIM targets large working sets.
+
+        Args:
+            graph: The measured graph.
+            profile: The workload's per-vertex state size.
+            effective_num_vertices: Override for the vertex count, used when
+                a measured work profile has been scaled up to represent a
+                larger graph than the one actually materialized.
+        """
+        num_vertices = effective_num_vertices or graph.num_vertices
+        state_bytes = num_vertices * profile.vertex_state_bytes
+        if state_bytes <= 0:
+            return 0.0
+        resident_fraction = min(1.0, self.parameters.llc_bytes / state_bytes)
+        return 1.0 - resident_fraction
+
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Sustained bandwidth for the mixed graph access pattern."""
+        return (
+            self.parameters.memory_bandwidth_bytes_per_s
+            * self.parameters.random_access_efficiency
+        )
+
+    def aggregate_ops_per_second(self) -> float:
+        """Aggregate instruction throughput of all cores."""
+        p = self.parameters
+        return p.cores * p.frequency_ghz * 1e9 * p.issue_width
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        graph: CsrGraph,
+        profile: WorkProfile,
+        effective_num_vertices: Optional[int] = None,
+    ) -> GraphExecutionResult:
+        """Execute a measured work profile on the conventional system.
+
+        Args:
+            graph: The measured graph (used for structure-derived statistics).
+            profile: The measured work profile (possibly scaled).
+            effective_num_vertices: Vertex count of the logical graph the
+                profile represents when it has been scaled.
+        """
+        p = self.parameters
+        miss_rate = self.vertex_state_miss_rate(graph, profile, effective_num_vertices)
+        bandwidth = self.effective_bandwidth_bytes_per_s()
+        ops_rate = self.aggregate_ops_per_second()
+
+        memory_ns = 0.0
+        compute_ns = 0.0
+        dram_bytes = 0.0
+        on_chip_bytes = 0.0
+        total_ops = 0.0
+
+        for active, edges in zip(profile.active_vertices, profile.traversed_edges):
+            edge_stream_bytes = edges * 8  # adjacency entries stream from DRAM
+            vertex_random_bytes = edges * miss_rate * p.cache_line_bytes
+            vertex_hit_bytes = edges * (1.0 - miss_rate) * profile.vertex_state_bytes
+            state_update_bytes = active * profile.vertex_state_bytes * miss_rate
+
+            iteration_dram_bytes = edge_stream_bytes + vertex_random_bytes + state_update_bytes
+            iteration_ops = edges * p.ops_per_edge + active * p.ops_per_vertex
+
+            memory_ns += iteration_dram_bytes / bandwidth * 1e9
+            compute_ns += iteration_ops / ops_rate * 1e9
+            dram_bytes += iteration_dram_bytes
+            on_chip_bytes += vertex_hit_bytes
+            total_ops += iteration_ops
+
+        time_ns = max(memory_ns, compute_ns)
+
+        dram_energy_j = dram_bytes * self.energy_model.dram_energy_per_byte_j
+        cache_energy_j = (dram_bytes + on_chip_bytes) * (
+            self.energy_model.hierarchy_energy_per_byte_j(reaches_memory=False)
+        )
+        core_energy_j = total_ops * p.core_energy_per_op_j
+        static_j = p.static_power_w * time_ns * 1e-9
+        energy_j = dram_energy_j + cache_energy_j + core_energy_j + static_j
+
+        return GraphExecutionResult(
+            system=p.name,
+            workload=profile.name,
+            time_ns=time_ns,
+            energy_j=energy_j,
+            breakdown={"memory_ns": memory_ns, "compute_ns": compute_ns},
+            energy_breakdown={
+                "dram_j": dram_energy_j,
+                "caches_j": cache_energy_j,
+                "cores_j": core_energy_j,
+                "static_j": static_j,
+            },
+        )

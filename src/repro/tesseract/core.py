@@ -1,0 +1,67 @@
+"""PIM core parameters for Tesseract.
+
+Each vault hosts one simple in-order core.  The per-edge instruction
+counts below are the calibration constants of the performance model: a
+vertex-program edge visit on the source side (read the edge, compute the
+contribution, compose and send the remote function call) and the handler
+executed on the destination side (receive, load the vertex state, update,
+store) are each a few tens of simple instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PimCoreParameters:
+    """Configuration of the in-order PIM core in each vault.
+
+    Attributes:
+        frequency_ghz: Core clock.
+        ipc: Sustained instructions per cycle (1.0 for a simple in-order
+            core with the message-triggered prefetcher hiding memory
+            latency, per the Tesseract design).
+        ops_per_edge_source: Instructions executed at the source vault per
+            traversed edge (edge fetch, contribution compute, message
+            composition).
+        ops_per_edge_handler: Instructions executed by the remote-function
+            handler at the destination vault per received message.
+        ops_per_vertex: Instructions per active vertex per iteration
+            (state load/store, scheduling).
+        dynamic_energy_per_op_j: Energy per instruction on the small core.
+        static_power_w: Static/leakage power of one core plus its share of
+            the vault's peripheral logic.
+        message_payload_bytes: Payload of one remote function call.
+    """
+
+    frequency_ghz: float = 2.0
+    ipc: float = 1.0
+    ops_per_edge_source: int = 6
+    ops_per_edge_handler: int = 10
+    ops_per_vertex: int = 12
+    dynamic_energy_per_op_j: float = 1.0e-11
+    static_power_w: float = 0.03
+    message_payload_bytes: int = 16
+
+    @classmethod
+    def tesseract(cls) -> "PimCoreParameters":
+        """The 2 GHz single-issue in-order configuration of the paper."""
+        return cls()
+
+    @property
+    def ops_per_second(self) -> float:
+        """Instruction throughput of one core."""
+        return self.frequency_ghz * 1e9 * self.ipc
+
+    def compute_time_ns(self, ops: float) -> float:
+        """Time for ``ops`` instructions on one core."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops / self.ops_per_second * 1e9
+
+    def compute_energy_j(self, ops: float) -> float:
+        """Dynamic energy for ``ops`` instructions on one core."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops * self.dynamic_energy_per_op_j

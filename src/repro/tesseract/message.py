@@ -1,0 +1,201 @@
+"""The remote-function-call programming interface and a functional runtime.
+
+Tesseract's programming model is message passing: when a vertex program
+running in vault ``s`` needs to update a vertex owned by vault ``d``, it
+issues a *non-blocking remote function call* — the operation (function id
+plus a small payload) travels to vault ``d`` and executes there, next to
+the data.  Barriers separate supersteps.
+
+:class:`VaultProgramRuntime` is a small functional simulator of this model:
+it executes a vertex program over a partitioned graph, vault by vault,
+queueing remote calls and delivering them at the next barrier.  It is *not*
+a timing model — its purpose is to
+
+* validate that vertex programs expressed with remote calls produce the
+  same results as the reference algorithms, and
+* produce exact per-superstep message counts (local vs. intra-cube vs.
+  inter-cube), which the analytical performance model in
+  :mod:`repro.tesseract.runtime` is calibrated against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.graph import CsrGraph
+from repro.graph.partition import GraphPartition
+
+
+@dataclass
+class RemoteCall:
+    """One remote function call in flight.
+
+    Attributes:
+        target_vertex: Vertex the call operates on.
+        function: Name of the handler to run at the destination vault.
+        value: Scalar payload.
+    """
+
+    target_vertex: int
+    function: str
+    value: float
+
+
+@dataclass
+class MessageStats:
+    """Counts of remote calls issued during one superstep."""
+
+    local: int = 0
+    intra_cube: int = 0
+    inter_cube: int = 0
+
+    @property
+    def total(self) -> int:
+        """All calls issued (including vault-local ones)."""
+        return self.local + self.intra_cube + self.inter_cube
+
+    @property
+    def remote(self) -> int:
+        """Calls that actually crossed a vault boundary."""
+        return self.intra_cube + self.inter_cube
+
+
+class VaultProgramRuntime:
+    """Functional, vault-parallel execution of vertex programs.
+
+    Args:
+        graph: The graph being processed.
+        partition: Vertex-to-vault assignment.
+        handlers: Mapping from function name to a handler
+            ``f(state, vertex, value) -> None`` that updates per-vertex
+            state arrays in place.
+    """
+
+    def __init__(
+        self,
+        graph: CsrGraph,
+        partition: GraphPartition,
+        handlers: Optional[Dict[str, Callable]] = None,
+    ) -> None:
+        self.graph = graph
+        self.partition = partition
+        self.handlers: Dict[str, Callable] = handlers or {}
+        self.state: Dict[str, np.ndarray] = {}
+        self.superstep_stats: List[MessageStats] = []
+        self._pending: Dict[int, List[RemoteCall]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # State and handler registration
+    # ------------------------------------------------------------------
+    def add_state(self, name: str, initial: np.ndarray) -> None:
+        """Register a per-vertex state array."""
+        array = np.asarray(initial)
+        if array.shape[0] != self.graph.num_vertices:
+            raise ValueError("state array must have one entry per vertex")
+        self.state[name] = array.copy()
+
+    def register_handler(self, name: str, handler: Callable) -> None:
+        """Register a remote-call handler by name."""
+        self.handlers[name] = handler
+
+    # ------------------------------------------------------------------
+    # Remote calls
+    # ------------------------------------------------------------------
+    def remote_call(self, source_vault: int, call: RemoteCall, stats: MessageStats) -> None:
+        """Issue a remote call from ``source_vault`` (delivered at the barrier)."""
+        target_vault = int(self.partition.assignment[call.target_vertex])
+        vaults_per_cube = self.partition.vaults_per_cube
+        if target_vault == source_vault:
+            stats.local += 1
+        elif target_vault // vaults_per_cube == source_vault // vaults_per_cube:
+            stats.intra_cube += 1
+        else:
+            stats.inter_cube += 1
+        self._pending[target_vault].append(call)
+
+    def barrier(self) -> None:
+        """Deliver every pending remote call (executes its handler)."""
+        for vault in sorted(self._pending):
+            for call in self._pending[vault]:
+                handler = self.handlers.get(call.function)
+                if handler is None:
+                    raise KeyError(f"no handler registered for {call.function!r}")
+                handler(self.state, call.target_vertex, call.value)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Superstep driver
+    # ------------------------------------------------------------------
+    def run_superstep(
+        self,
+        vertex_program: Callable,
+        active_vertices: Optional[np.ndarray] = None,
+    ) -> MessageStats:
+        """Run one superstep of ``vertex_program`` over the active vertices.
+
+        The vertex program is called as
+        ``vertex_program(runtime, vault, vertex, issue)`` where ``issue`` is
+        a function accepting a :class:`RemoteCall`.  Remote calls issued
+        during the superstep are delivered at the closing barrier.
+        """
+        stats = MessageStats()
+        assignment = self.partition.assignment
+        if active_vertices is None:
+            active_vertices = np.arange(self.graph.num_vertices)
+        # Process vault by vault, mirroring the per-vault cores.
+        vault_of_active = assignment[active_vertices]
+        for vault in range(self.partition.num_vaults):
+            for vertex in active_vertices[vault_of_active == vault]:
+                vertex = int(vertex)
+
+                def issue(call: RemoteCall, _vault: int = vault) -> None:
+                    self.remote_call(_vault, call, stats)
+
+                vertex_program(self, vault, vertex, issue)
+        self.barrier()
+        self.superstep_stats.append(stats)
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Ready-made vertex programs (used by tests and the A2 ablation)
+# ----------------------------------------------------------------------
+def build_pagerank_runtime(
+    graph: CsrGraph, partition: GraphPartition, damping: float = 0.85
+) -> VaultProgramRuntime:
+    """Build a runtime pre-configured for message-passing PageRank."""
+    runtime = VaultProgramRuntime(graph, partition)
+    n = graph.num_vertices
+    runtime.add_state("rank", np.full(n, 1.0 / max(1, n)))
+    runtime.add_state("incoming", np.zeros(n))
+
+    def accumulate(state: Dict[str, np.ndarray], vertex: int, value: float) -> None:
+        state["incoming"][vertex] += value
+
+    runtime.register_handler("accumulate", accumulate)
+    runtime.damping = damping  # type: ignore[attr-defined]
+    return runtime
+
+
+def pagerank_superstep(runtime: VaultProgramRuntime) -> MessageStats:
+    """Execute one message-passing PageRank superstep (push model)."""
+    graph = runtime.graph
+
+    def program(rt: VaultProgramRuntime, vault: int, vertex: int, issue) -> None:
+        degree = graph.out_degree(vertex)
+        if degree == 0:
+            return
+        contribution = rt.state["rank"][vertex] / degree
+        for neighbor in graph.neighbors(vertex):
+            issue(RemoteCall(int(neighbor), "accumulate", contribution))
+
+    stats = runtime.run_superstep(program)
+    n = graph.num_vertices
+    damping = getattr(runtime, "damping", 0.85)
+    runtime.state["rank"] = (1.0 - damping) / n + damping * runtime.state["incoming"]
+    runtime.state["incoming"] = np.zeros(n)
+    return stats

@@ -1,0 +1,264 @@
+"""Analytical performance/energy model of a Tesseract machine.
+
+The model executes a :class:`~repro.graph.algorithms.WorkProfile` (the
+per-iteration work measured by actually running the algorithm) over a
+:class:`~repro.graph.partition.GraphPartition` on a
+:class:`~repro.stacked.hmc.StackedMemorySystem`.
+
+Each iteration's time is the maximum of four components, mirroring how a
+barrier-synchronized vault-parallel machine behaves:
+
+* per-vault compute time (instructions on the in-order core, scaled by the
+  measured load imbalance of the partition),
+* per-vault local memory time (vault-local bytes over the TSV bus),
+* network serialization time (remote function calls over the crossbars and
+  the cube-to-cube links), and
+* a fixed barrier/synchronization overhead.
+
+Energy integrates dynamic memory, network, and core energy plus static
+power over the execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.algorithms import WorkProfile
+from repro.graph.partition import GraphPartition
+from repro.stacked.hmc import StackedMemorySystem
+from repro.stacked.network import StackNetwork
+from repro.tesseract.core import PimCoreParameters
+
+
+@dataclass(frozen=True)
+class TesseractParameters:
+    """System-level configuration of the Tesseract machine.
+
+    Attributes:
+        core: Per-vault PIM core parameters.
+        bytes_per_edge: Bytes read from the vault per traversed edge
+            (the adjacency entry plus its share of the CSR offsets).
+        bytes_per_vertex: Bytes of per-vertex state touched per activation.
+        barrier_latency_ns: Cost of one global barrier.
+        memory_static_power_w: Background power of each memory cube.
+        prefetcher_effectiveness: Fraction of vault-local access latency the
+            message-triggered and list prefetchers hide (1.0 = fully hidden,
+            which is the paper's finding for streaming edge lists).
+    """
+
+    core: PimCoreParameters = PimCoreParameters()
+    bytes_per_edge: int = 10
+    bytes_per_vertex: int = 16
+    barrier_latency_ns: float = 2000.0
+    memory_static_power_w: float = 1.0
+    prefetcher_effectiveness: float = 1.0
+
+    @classmethod
+    def isca2015(cls) -> "TesseractParameters":
+        """The configuration of the Tesseract paper (16 cubes x 32 vaults)."""
+        return cls()
+
+
+@dataclass
+class GraphExecutionResult:
+    """Outcome of executing one workload on one system model.
+
+    Attributes:
+        system: Label of the executing system.
+        workload: Workload name.
+        time_ns: Total execution time.
+        energy_j: Total energy.
+        breakdown: Named time components (ns).
+        energy_breakdown: Named energy components (J).
+    """
+
+    system: str
+    workload: str
+    time_ns: float
+    energy_j: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "GraphExecutionResult") -> float:
+        """Speedup of this execution relative to ``other``."""
+        if self.time_ns <= 0:
+            raise ValueError("time must be positive")
+        return other.time_ns / self.time_ns
+
+    def energy_reduction_percent(self, other: "GraphExecutionResult") -> float:
+        """Energy reduction of this execution relative to ``other`` (0-100)."""
+        if other.energy_j <= 0:
+            raise ValueError("baseline energy must be positive")
+        return (other.energy_j - self.energy_j) / other.energy_j * 100.0
+
+
+class TesseractSystem:
+    """A Tesseract machine: stacked memory + per-vault PIM cores.
+
+    Args:
+        memory: Stacked memory system (defaults to 16 HMC 2.0 cubes).
+        parameters: Tesseract-specific parameters.
+        use_remote_function_calls: When False, remote edges are serviced by
+            blocking remote reads instead of non-blocking remote function
+            calls (the A2 ablation); each remote edge then exposes the
+            network round-trip latency, partially overlapped by the core's
+            modest memory-level parallelism.
+    """
+
+    REMOTE_READ_MLP = 4.0
+
+    def __init__(
+        self,
+        memory: Optional[StackedMemorySystem] = None,
+        parameters: Optional[TesseractParameters] = None,
+        use_remote_function_calls: bool = True,
+    ) -> None:
+        self.memory = memory or StackedMemorySystem(num_stacks=16)
+        self.parameters = parameters or TesseractParameters.isca2015()
+        self.use_remote_function_calls = use_remote_function_calls
+
+    @property
+    def num_vaults(self) -> int:
+        """Total PIM cores (one per vault)."""
+        return self.memory.num_vaults
+
+    # ------------------------------------------------------------------
+    # Execution model
+    # ------------------------------------------------------------------
+    def execute(self, profile: WorkProfile, partition: GraphPartition) -> GraphExecutionResult:
+        """Execute a work profile over a partition and return time/energy."""
+        if partition.num_vaults != self.num_vaults:
+            raise ValueError(
+                f"partition has {partition.num_vaults} vaults, system has {self.num_vaults}"
+            )
+        p = self.parameters
+        core = p.core
+        vault_params = self.memory.stacks[0].parameters.vault
+        network_params = self.memory.network.parameters
+
+        remote_fraction = partition.remote_fraction
+        inter_cube_share = (
+            partition.inter_cube_remote_edges / partition.remote_edges
+            if partition.remote_edges
+            else 0.0
+        )
+        imbalance = partition.load_imbalance
+        total_edges_in_graph = max(1, partition.total_edges)
+
+        compute_ns = 0.0
+        local_memory_ns = 0.0
+        network_ns = 0.0
+        barrier_ns = 0.0
+
+        local_bytes_total = 0.0
+        intra_cube_msg_bytes = 0.0
+        inter_cube_msg_bytes = 0.0
+        total_ops = 0.0
+
+        message_bytes = core.message_payload_bytes + network_params.message_overhead_bytes
+
+        for active, edges in zip(profile.active_vertices, profile.traversed_edges):
+            # Work per vault, scaled by the measured load imbalance.
+            edges_per_vault = edges / self.num_vaults * imbalance
+            active_per_vault = active / self.num_vaults * imbalance
+
+            remote_edges = edges * remote_fraction
+            local_edges = edges - remote_edges
+
+            # --- compute -------------------------------------------------
+            ops_per_vault = (
+                edges_per_vault * core.ops_per_edge_source
+                + edges_per_vault * remote_fraction * core.ops_per_edge_handler
+                + active_per_vault * core.ops_per_vertex
+            )
+            iteration_compute_ns = core.compute_time_ns(ops_per_vault)
+            total_ops += ops_per_vault * self.num_vaults / imbalance
+
+            # --- vault-local memory ---------------------------------------
+            bytes_per_vault = (
+                edges_per_vault * p.bytes_per_edge
+                + active_per_vault * p.bytes_per_vertex
+                + edges_per_vault * remote_fraction * p.bytes_per_vertex
+            )
+            iteration_memory_ns = (
+                bytes_per_vault / vault_params.tsv_bandwidth_bytes_per_s * 1e9
+            ) * (2.0 - p.prefetcher_effectiveness)
+            local_bytes_total += bytes_per_vault * self.num_vaults / imbalance
+
+            # --- network ---------------------------------------------------
+            self.memory.network.reset()
+            remote_messages = remote_edges
+            self.memory.network.add_messages(
+                int(remote_messages * (1.0 - inter_cube_share)),
+                core.message_payload_bytes,
+                crosses_cube=False,
+            )
+            self.memory.network.add_messages(
+                int(remote_messages * inter_cube_share),
+                core.message_payload_bytes,
+                crosses_cube=True,
+            )
+            iteration_network_ns = self.memory.network.total_time_ns()
+            intra_cube_msg_bytes += remote_messages * (1.0 - inter_cube_share) * message_bytes
+            inter_cube_msg_bytes += remote_messages * inter_cube_share * message_bytes
+
+            if not self.use_remote_function_calls:
+                # Blocking remote reads: each remote edge exposes a network
+                # round trip, overlapped only by modest MLP.
+                round_trip_ns = 2 * (
+                    network_params.inter_cube_latency_ns * inter_cube_share
+                    + network_params.intra_cube_latency_ns * (1.0 - inter_cube_share)
+                )
+                remote_per_vault = edges_per_vault * remote_fraction
+                iteration_compute_ns += remote_per_vault * round_trip_ns / self.REMOTE_READ_MLP
+
+            compute_ns += iteration_compute_ns
+            local_memory_ns += iteration_memory_ns
+            network_ns += iteration_network_ns
+            barrier_ns += p.barrier_latency_ns
+
+        # Iteration times combine as max per iteration; summing the maxima
+        # per component first and taking the max of sums is equivalent here
+        # because the same component binds every iteration of a workload.
+        time_ns = max(compute_ns, local_memory_ns, network_ns) + barrier_ns
+
+        # ------------------------------------------------------------------
+        # Energy
+        # ------------------------------------------------------------------
+        vault = self.memory.stacks[0].vaults[0]
+        memory_dynamic_j = vault.transfer_energy_j(int(local_bytes_total))
+        network_dynamic_j = (
+            intra_cube_msg_bytes * 8 * network_params.intra_cube_energy_pj_per_bit * 1e-12
+            + inter_cube_msg_bytes
+            * self.memory.network.average_inter_cube_hops
+            * 8
+            * network_params.inter_cube_energy_pj_per_bit
+            * 1e-12
+        )
+        core_dynamic_j = core.compute_energy_j(total_ops)
+        static_power_w = (
+            self.num_vaults * core.static_power_w
+            + self.memory.num_stacks * p.memory_static_power_w
+        )
+        static_j = static_power_w * time_ns * 1e-9
+        energy_j = memory_dynamic_j + network_dynamic_j + core_dynamic_j + static_j
+
+        return GraphExecutionResult(
+            system="tesseract" if self.use_remote_function_calls else "tesseract-no-rfc",
+            workload=profile.name,
+            time_ns=time_ns,
+            energy_j=energy_j,
+            breakdown={
+                "compute_ns": compute_ns,
+                "local_memory_ns": local_memory_ns,
+                "network_ns": network_ns,
+                "barrier_ns": barrier_ns,
+            },
+            energy_breakdown={
+                "memory_j": memory_dynamic_j,
+                "network_j": network_dynamic_j,
+                "cores_j": core_dynamic_j,
+                "static_j": static_j,
+            },
+        )

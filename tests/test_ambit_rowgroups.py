@@ -1,0 +1,57 @@
+"""Tests for repro.ambit.rowgroups."""
+
+import pytest
+
+from repro.ambit.rowgroups import AmbitSubarrayLayout
+
+
+class TestLayout:
+    def test_reserved_row_count(self):
+        layout = AmbitSubarrayLayout(512)
+        # 4 T rows + 2 DCC pairs (4 rows) + 2 control rows.
+        assert layout.reserved_rows == 10
+        assert layout.data_rows == 502
+
+    def test_all_reserved_rows_are_distinct_and_in_range(self):
+        layout = AmbitSubarrayLayout(512)
+        reserved = layout.all_reserved_rows()
+        assert len(reserved) == len(set(reserved)) == layout.reserved_rows
+        assert all(layout.data_rows <= row < 512 for row in reserved)
+
+    def test_data_rows_do_not_overlap_reserved(self):
+        layout = AmbitSubarrayLayout(64)
+        reserved = set(layout.all_reserved_rows())
+        start, stop = layout.data_row_range()
+        assert start == 0
+        assert all(row not in reserved for row in range(start, stop))
+
+    def test_is_data_row(self):
+        layout = AmbitSubarrayLayout(64)
+        assert layout.is_data_row(0)
+        assert layout.is_data_row(layout.data_rows - 1)
+        assert not layout.is_data_row(layout.data_rows)
+        assert not layout.is_data_row(63)
+
+    def test_t_row_indices(self):
+        layout = AmbitSubarrayLayout(64)
+        t_rows = [layout.t_row(i) for i in range(4)]
+        assert t_rows == sorted(t_rows)
+        with pytest.raises(IndexError):
+            layout.t_row(4)
+
+    def test_dcc_and_complement_are_adjacent(self):
+        layout = AmbitSubarrayLayout(64)
+        for index in range(2):
+            assert layout.dcc_bar_row(index) == layout.dcc_row(index) + 1
+        with pytest.raises(IndexError):
+            layout.dcc_row(2)
+
+    def test_control_rows_are_last(self):
+        layout = AmbitSubarrayLayout(64)
+        assert layout.c1_row == 63
+        assert layout.c0_row == 62
+
+    def test_too_small_subarray_rejected(self):
+        with pytest.raises(ValueError):
+            AmbitSubarrayLayout(10)
+        AmbitSubarrayLayout(11)  # one data row is enough

@@ -1,0 +1,116 @@
+"""Tests for repro.core.offload and repro.core.coherence."""
+
+import pytest
+
+from repro.core.coherence import CoherenceModel, CoherencePolicy
+from repro.core.offload import ExecutionTarget, KernelDescriptor, OffloadPlanner
+
+
+class TestKernelDescriptor:
+    def test_operations_per_byte(self):
+        kernel = KernelDescriptor("k", instructions=100, memory_bytes=50)
+        assert kernel.operations_per_byte == pytest.approx(2.0)
+        assert KernelDescriptor("k", 100, 0).operations_per_byte == float("inf")
+
+    def test_as_phase(self):
+        kernel = KernelDescriptor("k", instructions=10, memory_bytes=20, streaming_fraction=0.5)
+        phase = kernel.as_phase()
+        assert phase.host_instructions == 10
+        assert phase.dram_bytes == 20
+        assert phase.is_target_function
+
+
+class TestOffloadPlanner:
+    def test_data_movement_bound_kernel_is_offloaded(self):
+        planner = OffloadPlanner()
+        kernel = KernelDescriptor("tiling", instructions=2e8, memory_bytes=1e9, streaming_fraction=0.5)
+        decision = planner.plan(kernel)
+        assert decision.target in (ExecutionTarget.PIM_CORE, ExecutionTarget.PIM_ACCELERATOR)
+        assert decision.projected_speedup > 1.0
+        assert decision.projected_energy_reduction_percent > 0.0
+
+    def test_compute_bound_kernel_stays_on_host(self):
+        planner = OffloadPlanner()
+        kernel = KernelDescriptor("gemm", instructions=5e10, memory_bytes=2e7, streaming_fraction=0.9)
+        decision = planner.plan(kernel)
+        assert decision.target is ExecutionTarget.HOST
+        assert decision.projected_speedup == 1.0
+        assert decision.projected_energy_reduction_percent == 0.0
+
+    def test_crossover_exists_as_intensity_rises(self):
+        planner = OffloadPlanner()
+        targets = []
+        for ops_per_byte in (0.25, 0.5, 1, 2, 4, 16, 64):
+            kernel = KernelDescriptor(
+                "sweep", instructions=ops_per_byte * 5e8, memory_bytes=5e8
+            )
+            targets.append(planner.plan(kernel).target)
+        assert targets[0] is not ExecutionTarget.HOST
+        assert targets[-1] is ExecutionTarget.HOST
+        # Once the planner chooses the host it never switches back as the
+        # intensity keeps rising (monotone crossover).
+        first_host = targets.index(ExecutionTarget.HOST)
+        assert all(t is ExecutionTarget.HOST for t in targets[first_host:])
+
+    def test_accelerator_preferred_when_available(self):
+        planner = OffloadPlanner()
+        kernel = KernelDescriptor(
+            "motion_estimation",
+            instructions=5e8,
+            memory_bytes=1e9,
+            streaming_fraction=0.4,
+            has_fixed_function_accelerator=True,
+        )
+        decision = planner.plan(kernel)
+        assert decision.target is ExecutionTarget.PIM_ACCELERATOR
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OffloadPlanner(energy_weight=1.5)
+        with pytest.raises(ValueError):
+            OffloadPlanner(offload_threshold=-0.1)
+
+
+class TestCoherenceModel:
+    def test_flush_cost_scales_with_footprint(self):
+        model = CoherenceModel()
+        small = model.overhead(CoherencePolicy.FLUSH_BASED, 1 << 20)
+        large = model.overhead(CoherencePolicy.FLUSH_BASED, 64 << 20)
+        assert large.extra_time_ns > 10 * small.extra_time_ns
+
+    def test_fine_grained_scales_with_sharing(self):
+        model = CoherenceModel()
+        low = model.overhead(CoherencePolicy.FINE_GRAINED, 64 << 20, shared_access_fraction=0.05)
+        high = model.overhead(CoherencePolicy.FINE_GRAINED, 64 << 20, shared_access_fraction=0.5)
+        assert high.extra_time_ns > low.extra_time_ns
+        assert high.extra_traffic_bytes > low.extra_traffic_bytes
+
+    def test_lazy_batched_is_cheapest_for_low_conflict_kernels(self):
+        """The LazyPIM argument: with rare conflicts, batched verification
+        costs far less than flushing or per-access probing."""
+        model = CoherenceModel()
+        footprint = 64 << 20
+        kernel_time_ns = 1e6
+        flush = model.overhead(CoherencePolicy.FLUSH_BASED, footprint, kernel_time_ns=kernel_time_ns)
+        fine = model.overhead(CoherencePolicy.FINE_GRAINED, footprint, kernel_time_ns=kernel_time_ns)
+        lazy = model.overhead(CoherencePolicy.LAZY_BATCHED, footprint, kernel_time_ns=kernel_time_ns)
+        assert lazy.extra_time_ns < flush.extra_time_ns
+        assert lazy.extra_time_ns < fine.extra_time_ns
+
+    def test_lazy_reexecution_grows_with_conflicts(self):
+        model = CoherenceModel()
+        calm = model.overhead(
+            CoherencePolicy.LAZY_BATCHED, 1 << 20, conflict_probability=0.01, kernel_time_ns=1e6
+        )
+        contended = model.overhead(
+            CoherencePolicy.LAZY_BATCHED, 1 << 20, conflict_probability=0.5, kernel_time_ns=1e6
+        )
+        assert contended.extra_time_ns > calm.extra_time_ns
+        assert contended.reexecution_fraction == pytest.approx(0.5)
+
+    def test_validation(self):
+        model = CoherenceModel()
+        with pytest.raises(ValueError):
+            model.overhead(CoherencePolicy.FLUSH_BASED, -1)
+        with pytest.raises(ValueError):
+            model.overhead(CoherencePolicy.FLUSH_BASED, 10, dirty_fraction=1.5)

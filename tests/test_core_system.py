@@ -1,0 +1,115 @@
+"""Tests for repro.core.system and repro.core.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import bitmap_intersection, bulk_checkpoint, zero_initialize
+from repro.core.system import PIMSystem
+from repro.dram.device import DramDevice
+from repro.dram.energy import DramEnergyParameters
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimingParameters
+
+
+@pytest.fixture
+def functional_system(small_geometry) -> PIMSystem:
+    device = DramDevice(
+        small_geometry, DramTimingParameters.ddr3_1600(), DramEnergyParameters.ddr3_1600()
+    )
+    return PIMSystem(device, functional=True)
+
+
+@pytest.fixture
+def analytical_system() -> PIMSystem:
+    return PIMSystem.default()
+
+
+class TestBulkBitwiseApi:
+    def test_all_binary_ops_produce_correct_values(self, functional_system):
+        a = functional_system.alloc_bitvector(700).fill_random(seed=1)
+        b = functional_system.alloc_bitvector(700).fill_random(seed=2)
+        assert np.array_equal(
+            functional_system.bulk_and(a, b).data[:88], a.expected_and(b)
+        )
+        assert np.array_equal(
+            functional_system.bulk_or(a, b).data[:88], a.expected_or(b)
+        )
+        assert np.array_equal(
+            functional_system.bulk_xor(a, b).data[:88], a.expected_xor(b)
+        )
+
+    def test_derived_ops(self, functional_system):
+        a = functional_system.alloc_bitvector(256).fill_random(seed=3)
+        b = functional_system.alloc_bitvector(256).fill_random(seed=4)
+        nand = functional_system.bulk_nand(a, b)
+        assert np.array_equal(nand.data[:32], np.bitwise_not(a.expected_and(b)))
+        nor = functional_system.bulk_nor(a, b)
+        assert np.array_equal(nor.data[:32], np.bitwise_not(a.expected_or(b)))
+        xnor = functional_system.bulk_xnor(a, b)
+        assert np.array_equal(xnor.data[:32], np.bitwise_not(a.expected_xor(b)))
+        inverted = functional_system.bulk_not(a)
+        assert np.array_equal(inverted.data[:32], a.expected_not())
+
+    def test_history_records_speedups(self, analytical_system):
+        a = analytical_system.alloc_bitvector(1 << 22)
+        b = analytical_system.alloc_bitvector(1 << 22)
+        analytical_system.bulk_and(a, b)
+        record = analytical_system.last_operation()
+        assert record.speedup > 1.0
+        assert record.energy_reduction > 1.0
+        assert "faster" in analytical_system.last_operation_report()
+
+    def test_history_table_and_reset(self, analytical_system):
+        a = analytical_system.alloc_bitvector(1 << 20)
+        b = analytical_system.alloc_bitvector(1 << 20)
+        analytical_system.bulk_or(a, b)
+        analytical_system.bulk_xor(a, b)
+        table = analytical_system.history_table()
+        assert len(table.rows) == 2
+        analytical_system.reset_history()
+        assert not analytical_system.history
+        with pytest.raises(RuntimeError):
+            analytical_system.last_operation()
+
+
+class TestDataMovementApi:
+    def test_copy_and_fill_record_history(self, analytical_system):
+        copy_metrics = analytical_system.copy(16 << 20)
+        fill_metrics = analytical_system.fill(16 << 20)
+        assert copy_metrics.bytes_moved_on_channel == 0
+        assert fill_metrics.bytes_moved_on_channel == 0
+        assert len(analytical_system.history) == 2
+        assert all(record.speedup > 1 for record in analytical_system.history)
+
+
+class TestKernels:
+    def test_bitmap_intersection(self, analytical_system):
+        vectors = [
+            analytical_system.alloc_bitvector(1 << 20).fill_random(seed=i) for i in range(3)
+        ]
+        result, metrics = bitmap_intersection(analytical_system, vectors)
+        assert len(metrics) == 2
+        expected = vectors[0].data & vectors[1].data & vectors[2].data
+        assert np.array_equal(result.data, expected)
+
+    def test_bitmap_intersection_validation(self, analytical_system):
+        single = [analytical_system.alloc_bitvector(64)]
+        with pytest.raises(ValueError):
+            bitmap_intersection(analytical_system, single)
+        mismatched = [
+            analytical_system.alloc_bitvector(64),
+            analytical_system.alloc_bitvector(128),
+        ]
+        with pytest.raises(ValueError):
+            bitmap_intersection(analytical_system, mismatched)
+
+    def test_zero_initialize_and_checkpoint(self, analytical_system):
+        zero_metrics = zero_initialize(analytical_system, 4 << 20)
+        assert zero_metrics.name == "rowclone_bulk_fill"
+        fpm = bulk_checkpoint(analytical_system, 4 << 20, intra_subarray=True)
+        psm = bulk_checkpoint(analytical_system, 4 << 20, intra_subarray=False)
+        assert fpm.latency_ns < psm.latency_ns
+        with pytest.raises(ValueError):
+            zero_initialize(analytical_system, 0)
+        with pytest.raises(ValueError):
+            bulk_checkpoint(analytical_system, -1)

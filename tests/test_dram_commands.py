@@ -1,0 +1,58 @@
+"""Tests for repro.dram.commands."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+
+
+class TestCommandKind:
+    def test_pim_kinds(self):
+        assert CommandKind.AAP.is_pim
+        assert CommandKind.TRA.is_pim
+
+    def test_conventional_kinds_are_not_pim(self):
+        for kind in (CommandKind.ACTIVATE, CommandKind.PRECHARGE, CommandKind.READ,
+                     CommandKind.WRITE, CommandKind.REFRESH):
+            assert not kind.is_pim
+
+
+class TestCommandValidation:
+    def test_activate_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACTIVATE)
+
+    def test_read_requires_column(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.READ, row=3)
+
+    def test_aap_requires_destination(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.AAP, row=1)
+
+    def test_tra_requires_three_rows(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.TRA, row=1, aux_row=2)
+
+    def test_valid_commands_construct(self):
+        Command(CommandKind.ACTIVATE, row=5)
+        Command(CommandKind.READ, row=5, column=3)
+        Command(CommandKind.AAP, row=5, aux_row=9)
+        Command(CommandKind.TRA, row=5, aux_row=6, aux_row2=7)
+        Command(CommandKind.REFRESH)
+
+
+class TestCommandDescribe:
+    def test_aap_describe(self):
+        command = Command(CommandKind.AAP, channel=0, rank=0, bank=3, row=12, aux_row=840)
+        assert command.describe() == "AAP ch0/ra0/ba3 r12->r840"
+
+    def test_tra_describe_lists_three_rows(self):
+        command = Command(CommandKind.TRA, bank=1, row=1, aux_row=2, aux_row2=3)
+        assert "r1,r2,r3" in command.describe()
+
+    def test_read_describe_includes_column(self):
+        command = Command(CommandKind.READ, row=7, column=11)
+        assert "c11" in command.describe()
+
+    def test_refresh_describe(self):
+        assert Command(CommandKind.REFRESH, channel=1).describe().startswith("REF")

@@ -1,0 +1,124 @@
+"""Tests for repro.dram.controller."""
+
+import numpy as np
+import pytest
+
+from repro.dram.controller import MemoryController, Request, RequestKind
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def controller(small_geometry) -> MemoryController:
+    return MemoryController(small_geometry)
+
+
+class TestFunctionalPath:
+    def test_write_then_read_returns_data(self, controller):
+        payload = np.arange(64, dtype=np.uint8)
+        controller.submit(Request(RequestKind.WRITE, address=0, data=payload))
+        controller.drain()
+        read = Request(RequestKind.READ, address=0)
+        controller.submit(read)
+        controller.drain()
+        assert np.array_equal(read.result, payload)
+
+    def test_write_requires_64_bytes(self, controller):
+        with pytest.raises(ValueError):
+            controller.submit(Request(RequestKind.WRITE, address=0, data=np.zeros(8, dtype=np.uint8)))
+
+    def test_row_hit_is_faster_than_row_miss(self):
+        geometry = DramGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            banks_per_rank=2,
+            subarrays_per_bank=2,
+            rows_per_subarray=8,
+            row_size_bytes=512,
+        )
+        controller = MemoryController(geometry)
+        first = Request(RequestKind.READ, address=0)
+        hit = Request(RequestKind.READ, address=64)  # next line of the same row
+        controller.submit(first)
+        controller.submit(hit)
+        controller.drain()
+        # Another row of the same bank forces a precharge + activate.
+        row_stride = geometry.row_size_bytes * geometry.banks_per_rank
+        miss = Request(RequestKind.READ, address=row_stride)
+        controller.submit(miss)
+        controller.drain()
+        assert hit.row_hit is True
+        assert miss.row_hit is False
+        assert controller.stats.row_hits >= 1
+        assert controller.stats.row_misses + controller.stats.row_closed >= 1
+        assert hit.latency_ns < miss.latency_ns
+
+    def test_latencies_are_positive_and_monotonic_time(self, controller):
+        requests = [Request(RequestKind.READ, address=i * 64) for i in range(16)]
+        for request in requests:
+            controller.submit(request)
+        controller.drain()
+        completion_times = [r.completion_time_ns for r in requests]
+        assert all(latency is not None and latency > 0 for latency in
+                   (r.latency_ns for r in requests))
+        assert controller.now_ns == pytest.approx(max(completion_times))
+
+    def test_stats_energy_accumulates(self, controller):
+        for i in range(8):
+            controller.submit(Request(RequestKind.READ, address=i * 64))
+        controller.drain()
+        assert controller.stats.energy.total_j > 0
+        assert controller.stats.reads == 8
+
+    def test_row_hit_rate(self, controller):
+        for i in range(8):
+            controller.submit(Request(RequestKind.READ, address=i * 64))
+        controller.drain()
+        assert 0.0 <= controller.stats.row_hit_rate <= 1.0
+
+
+class TestAnalyticalPath:
+    def test_peak_bandwidth(self):
+        controller = MemoryController(DramGeometry.ddr3_dimm())
+        assert controller.peak_bandwidth_bytes_per_s() == pytest.approx(25.6e9)
+
+    def test_stream_time_scales_linearly(self, controller):
+        t1 = controller.stream_time_ns(1 << 20)
+        t2 = controller.stream_time_ns(2 << 20)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_stream_time_efficiency_bounds(self, controller):
+        with pytest.raises(ValueError):
+            controller.stream_time_ns(1024, efficiency=0.0)
+        with pytest.raises(ValueError):
+            controller.stream_time_ns(1024, efficiency=1.5)
+        with pytest.raises(ValueError):
+            controller.stream_time_ns(-1)
+
+    def test_stream_energy_components(self, controller):
+        energy = controller.stream_energy(1 << 20)
+        assert energy.activation_j > 0
+        assert energy.read_j > 0
+        assert energy.io_j > 0
+        write_energy = controller.stream_energy(1 << 20, is_write=True)
+        assert write_energy.write_j > 0
+        assert write_energy.read_j == 0
+
+    def test_random_access_slower_than_streaming(self):
+        controller = MemoryController(DramGeometry.ddr3_dimm())
+        num_bytes = 1 << 24
+        stream = controller.stream_time_ns(num_bytes)
+        random = controller.random_access_time_ns(num_bytes // 64)
+        assert random > stream
+
+    def test_random_access_energy_has_activation_per_access(self):
+        controller = MemoryController(DramGeometry.ddr3_dimm())
+        energy = controller.random_access_energy(1000)
+        assert energy.activation_j == pytest.approx(
+            1000 * controller.energy_params.activation_energy_j
+        )
+
+    def test_negative_counts_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.random_access_time_ns(-1)
+        with pytest.raises(ValueError):
+            controller.stream_energy(-5)

@@ -1,0 +1,65 @@
+"""Tests for repro.dram.device."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import DramDevice
+
+
+class TestFunctionalBulkAccess:
+    def test_write_read_roundtrip(self, small_device):
+        data = np.arange(256, dtype=np.uint8)
+        small_device.write_bytes(0, data)
+        result = small_device.read_bytes(0, 256)
+        assert np.array_equal(result.data, data)
+
+    def test_unaligned_access_rejected(self, small_device):
+        with pytest.raises(ValueError):
+            small_device.write_bytes(10, np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            small_device.read_bytes(10, 64)
+
+    def test_partial_line_write_padded(self, small_device):
+        small_device.write_bytes(0, np.full(10, 3, dtype=np.uint8))
+        result = small_device.read_bytes(0, 10)
+        assert np.all(result.data == 3)
+
+    def test_read_negative_length_rejected(self, small_device):
+        with pytest.raises(ValueError):
+            small_device.read_bytes(0, -4)
+
+    def test_latency_and_energy_reported(self, small_device):
+        result = small_device.write_bytes(0, np.zeros(128, dtype=np.uint8))
+        assert result.latency_ns > 0
+        assert result.energy.total_j > 0
+
+
+class TestPresetsAndHelpers:
+    def test_ddr3_capacity(self):
+        assert DramDevice.ddr3().capacity_bytes == 4 << 30
+
+    def test_ddr4_has_more_bandwidth_than_ddr3(self):
+        assert (
+            DramDevice.ddr4().peak_bandwidth_bytes_per_s()
+            > DramDevice.ddr3().peak_bandwidth_bytes_per_s()
+        )
+
+    def test_decode_returns_valid_coordinate(self, ddr3_device):
+        coordinate = ddr3_device.decode(1 << 20)
+        assert 0 <= coordinate.channel < ddr3_device.geometry.channels
+        assert 0 <= coordinate.row < ddr3_device.geometry.rows_per_bank
+
+    def test_bank_at_and_iter_banks(self, small_device):
+        banks = dict(small_device.iter_banks())
+        assert len(banks) == small_device.geometry.banks_total
+        key = next(iter(banks))
+        assert small_device.bank_at(*key) is banks[key]
+
+    def test_analytical_shortcuts_delegate(self, ddr3_device):
+        assert ddr3_device.stream_time_ns(1 << 20) > 0
+        assert ddr3_device.stream_energy(1 << 20).total_j > 0
+        assert ddr3_device.random_access_time_ns(100) > 0
+        assert ddr3_device.random_access_energy(100).total_j > 0
+
+    def test_hmc_vault_preset_row_size(self):
+        assert DramDevice.hmc_vault().geometry.row_size_bytes == 1024

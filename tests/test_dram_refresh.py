@@ -1,0 +1,70 @@
+"""Tests for repro.dram.refresh."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import DramTimingParameters
+
+
+class TestRefreshOverhead:
+    def test_time_fraction_matches_trfc_over_trefi(self):
+        scheduler = RefreshScheduler()
+        overhead = scheduler.overhead()
+        timing = scheduler.timing
+        assert overhead.time_fraction == pytest.approx(timing.t_rfc_ns / timing.t_refi_ns)
+        # DDR3 refresh costs a few percent of time, not more.
+        assert 0.01 < overhead.time_fraction < 0.08
+
+    def test_commands_per_second(self):
+        scheduler = RefreshScheduler()
+        overhead = scheduler.overhead()
+        assert overhead.commands_per_second == pytest.approx(1e9 / scheduler.timing.t_refi_ns)
+
+    def test_power_and_bandwidth_loss_positive(self):
+        overhead = RefreshScheduler().overhead()
+        assert overhead.power_w > 0
+        assert overhead.bandwidth_loss_bytes_per_s > 0
+
+    def test_available_fraction_complements_overhead(self):
+        scheduler = RefreshScheduler()
+        assert scheduler.available_time_fraction() == pytest.approx(
+            1.0 - scheduler.overhead().time_fraction
+        )
+
+    def test_streaming_efficiency_assumption_is_consistent(self):
+        """The controller's streaming model assumes ~15-30% of peak bandwidth
+        is lost to refresh, turnarounds, and misses; refresh alone must be a
+        small part of that."""
+        scheduler = RefreshScheduler()
+        assert scheduler.overhead().time_fraction < 0.15
+
+    def test_refresh_energy_per_second(self):
+        scheduler = RefreshScheduler()
+        assert scheduler.refresh_energy_per_second_j() == pytest.approx(
+            scheduler.overhead().power_w
+        )
+
+
+class TestPostponement:
+    def test_aap_burst_length_before_refresh(self):
+        scheduler = RefreshScheduler()
+        aap_ns = scheduler.timing.aap_ns
+        burst = scheduler.max_postponed_operations(aap_ns)
+        # Eight tREFI windows of ~7.8 us each fit hundreds of ~84 ns AAPs.
+        assert 400 < burst < 2000
+
+    def test_zero_postponement_allows_one_window(self):
+        scheduler = RefreshScheduler()
+        assert scheduler.max_postponed_operations(scheduler.timing.t_refi_ns, 0) == 0
+
+    def test_validation(self):
+        scheduler = RefreshScheduler()
+        with pytest.raises(ValueError):
+            scheduler.max_postponed_operations(0)
+        with pytest.raises(ValueError):
+            scheduler.max_postponed_operations(10.0, -1)
+
+    def test_ddr4_refresh_costlier_than_ddr3(self):
+        ddr3 = RefreshScheduler(timing=DramTimingParameters.ddr3_1600())
+        ddr4 = RefreshScheduler(timing=DramTimingParameters.ddr4_2400())
+        assert ddr4.overhead().time_fraction > ddr3.overhead().time_fraction

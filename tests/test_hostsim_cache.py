@@ -1,0 +1,113 @@
+"""Tests for repro.hostsim.cache."""
+
+import pytest
+
+from repro.hostsim.cache import Cache, CacheConfig, CacheHierarchy
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig("L1", 32 * 1024, 8, 64)
+        assert config.num_sets == 64
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 1000, 8, 64)
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 0, 8, 64)
+
+    def test_presets(self):
+        assert CacheConfig.skylake_l1().size_bytes == 32 * 1024
+        assert CacheConfig.skylake_llc().size_bytes == 8 * 1024 * 1024
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig("L1", 1024, 2, 64))
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = Cache(CacheConfig("L1", 2 * 64, 2, 64))  # one set, two ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0
+        assert cache.contains(64)
+        assert not cache.contains(0)
+        assert cache.stats.evictions == 1
+
+    def test_lru_updated_on_hit(self):
+        cache = Cache(CacheConfig("L1", 2 * 64, 2, 64))
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)      # touch line 0 so line 64 is now LRU
+        cache.access(128)    # should evict 64, not 0
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = Cache(CacheConfig("L1", 2 * 64, 2, 64))
+        cache.access(0, is_write=True)
+        cache.access(64)
+        cache.access(128)
+        assert cache.stats.writebacks == 1
+
+    def test_flush_reports_dirty_lines(self):
+        cache = Cache(CacheConfig("L1", 1024, 2, 64))
+        cache.access(0, is_write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+    def test_same_set_different_tags_coexist(self):
+        cache = Cache(CacheConfig("L1", 4 * 64, 4, 64))
+        for i in range(4):
+            cache.access(i * 64 * cache.config.num_sets)
+        assert cache.resident_lines == 4
+
+
+class TestCacheHierarchy:
+    def test_default_levels(self):
+        hierarchy = CacheHierarchy()
+        assert [c.config.name for c in hierarchy.caches] == ["L1", "L2", "LLC"]
+
+    def test_miss_goes_to_memory(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.access(0) == "MEM"
+        assert hierarchy.access(0) == "L1"
+        assert hierarchy.memory_accesses == 1
+
+    def test_latency_and_energy_accumulate(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        latency_after_miss = hierarchy.total_latency_ns
+        hierarchy.access(0)
+        assert hierarchy.total_latency_ns > latency_after_miss
+        assert hierarchy.total_energy_j > 0
+
+    def test_l2_hit_after_l1_eviction(self):
+        small_l1 = CacheConfig("L1", 2 * 64, 2, 64)
+        big_l2 = CacheConfig("L2", 64 * 64, 16, 64)
+        hierarchy = CacheHierarchy([small_l1, big_l2], memory_latency_ns=100.0)
+        hierarchy.access(0)
+        hierarchy.access(64)
+        hierarchy.access(128)  # evicts 0 from L1, still in L2
+        assert hierarchy.access(0) == "L2"
+
+    def test_stats_by_level(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        stats = hierarchy.stats_by_level()
+        assert stats["L1"].misses == 1
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_flush_all_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.access(0) == "MEM"

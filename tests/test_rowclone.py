@@ -1,0 +1,105 @@
+"""Tests for repro.rowclone.engine."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.hostsim.cpu import HostCpu
+from repro.rowclone.engine import CopyMode, RowCloneEngine
+
+
+@pytest.fixture
+def engine(small_device) -> RowCloneEngine:
+    return RowCloneEngine(small_device)
+
+
+class TestRowLevelFunctional:
+    def test_fpm_copy_moves_data(self, engine, small_device):
+        bank = small_device.bank_at(0, 0, 0)
+        data = np.random.default_rng(1).integers(0, 256, 64).astype(np.uint8)
+        bank.write_row(3, data)
+        metrics = engine.copy_row(bank, 3, 7)
+        assert np.array_equal(bank.read_row(7), data)
+        assert metrics.notes == "fpm"
+        assert metrics.bytes_moved_on_channel == 0
+
+    def test_inter_subarray_copy_falls_back_to_lisa(self, engine, small_device):
+        bank = small_device.bank_at(0, 0, 0)
+        data = np.full(64, 0x5A, dtype=np.uint8)
+        bank.write_row(2, data)
+        metrics = engine.copy_row(bank, 2, 40)  # rows 0-31 and 32-63 are different subarrays
+        assert np.array_equal(bank.read_row(40), data)
+        assert metrics.notes == "lisa"
+        assert metrics.latency_ns > engine.device.timing.aap_ns
+
+    def test_classification(self, engine, small_device):
+        bank = small_device.bank_at(0, 0, 0)
+        assert engine.classify_copy(bank, 0, 5) is CopyMode.FPM
+        assert engine.classify_copy(bank, 0, 40) is CopyMode.INTER_SUBARRAY
+        assert engine.classify_copy(bank, 0, 5, same_bank=False) is CopyMode.PSM
+
+    def test_psm_copy_between_banks(self, engine, small_device):
+        source = small_device.bank_at(0, 0, 0)
+        dest = small_device.bank_at(0, 0, 1)
+        data = np.arange(64, dtype=np.uint8)
+        source.write_row(1, data)
+        metrics = engine.copy_row_psm(source, 1, dest, 9)
+        assert np.array_equal(dest.read_row(9), data)
+        assert metrics.latency_ns > engine.device.timing.aap_ns
+
+    def test_fill_row_clones_pattern(self, engine, small_device):
+        bank = small_device.bank_at(0, 0, 1)
+        metrics = engine.fill_row(bank, zero_row=0, dest_row=6, pattern=0)
+        assert np.all(bank.read_row(6) == 0)
+        assert metrics.bytes_produced == 64
+        engine.fill_row(bank, zero_row=1, dest_row=7, pattern=0xFF)
+        assert np.all(bank.read_row(7) == 0xFF)
+
+
+class TestBulkAnalytical:
+    def test_fpm_faster_than_psm(self):
+        engine = RowCloneEngine(DramDevice.ddr3())
+        fpm = engine.bulk_copy(8 << 20, CopyMode.FPM)
+        psm = engine.bulk_copy(8 << 20, CopyMode.PSM)
+        assert fpm.latency_ns < psm.latency_ns
+        assert fpm.energy_j < psm.energy_j
+
+    def test_rowclone_beats_cpu_copy(self):
+        device = DramDevice.ddr3()
+        engine = RowCloneEngine(device)
+        cpu = HostCpu(dram=device)
+        size = 16 << 20
+        assert engine.bulk_copy(size).latency_ns < cpu.bulk_copy(size).latency_ns
+        assert engine.bulk_copy(size).energy_j < cpu.bulk_copy(size).energy_j
+
+    def test_single_page_copy_speedup_in_published_range(self):
+        """RowClone-FPM copies one page in about one AAP; the CPU moves it
+        over the channel.  The published per-page speedup is ~11x; allow a
+        generous band around it."""
+        device = DramDevice.ddr3()
+        engine = RowCloneEngine(device)
+        cpu = HostCpu(dram=device)
+        page = device.geometry.row_size_bytes
+        speedup = cpu.bulk_copy(page).latency_ns / engine.bulk_copy(page).latency_ns
+        assert 5 < speedup < 40
+
+    def test_bulk_fill_uses_one_aap_per_row(self):
+        device = DramDevice.ddr3()
+        engine = RowCloneEngine(device, banks_parallel=1)
+        rows = 10
+        metrics = engine.bulk_fill(rows * device.geometry.row_size_bytes)
+        assert metrics.latency_ns == pytest.approx(rows * device.timing.aap_ns)
+
+    def test_latency_scales_with_rows_per_bank(self):
+        device = DramDevice.ddr3()
+        engine = RowCloneEngine(device)
+        one_round = engine.bulk_copy(device.geometry.banks_total * device.geometry.row_size_bytes)
+        two_rounds = engine.bulk_copy(2 * device.geometry.banks_total * device.geometry.row_size_bytes)
+        assert two_rounds.latency_ns == pytest.approx(2 * one_round.latency_ns)
+
+    def test_negative_sizes_rejected(self):
+        engine = RowCloneEngine(DramDevice.ddr3())
+        with pytest.raises(ValueError):
+            engine.bulk_copy(-1)
+        with pytest.raises(ValueError):
+            engine.bulk_fill(-1)

@@ -1,0 +1,154 @@
+"""Tests for repro.stacked (vault, logic layer, network, hmc)."""
+
+import pytest
+
+from repro.stacked.hmc import HmcParameters, HmcStack, StackedMemorySystem
+from repro.stacked.logic_layer import ComputeSiteKind, LogicLayerBudget, PimComputeSite
+from repro.stacked.network import InterconnectParameters, StackNetwork
+from repro.stacked.vault import Vault, VaultParameters
+
+
+class TestVault:
+    def test_transfer_time_and_energy(self):
+        vault = Vault(0)
+        assert vault.transfer_time_ns(16_000_000_000) == pytest.approx(1e9)
+        assert vault.transfer_energy_j(1000) > 0
+        with pytest.raises(ValueError):
+            vault.transfer_time_ns(-1)
+        with pytest.raises(ValueError):
+            vault.transfer_energy_j(-1)
+
+    def test_access_recording(self):
+        vault = Vault(3)
+        vault.record_access(100)
+        vault.record_access(50, is_write=True)
+        assert vault.bytes_read == 100
+        assert vault.bytes_written == 50
+        assert vault.bytes_total == 150
+        with pytest.raises(ValueError):
+            vault.record_access(-1)
+
+    def test_functional_dram_is_optional(self):
+        assert Vault(0).dram is None
+        assert Vault(0, with_functional_dram=True).dram is not None
+
+    def test_tsv_energy_per_byte(self):
+        params = VaultParameters(tsv_energy_pj_per_bit=4.0)
+        assert params.tsv_energy_per_byte_j == pytest.approx(32e-12)
+
+
+class TestLogicLayer:
+    def test_budget_per_vault(self):
+        budget = LogicLayerBudget(total_area_mm2=50.0, num_vaults=32)
+        assert budget.area_per_vault_mm2 == pytest.approx(1.5625)
+
+    def test_area_fractions_match_paper(self):
+        budget = LogicLayerBudget()
+        core = PimComputeSite.in_order_core()
+        accel = PimComputeSite.fixed_function_accelerator()
+        assert budget.area_fraction(core.area_mm2) == pytest.approx(0.094, abs=0.005)
+        assert budget.area_fraction(accel.area_mm2) == pytest.approx(0.354, abs=0.01)
+        assert core.fits(budget)
+        assert accel.fits(budget)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            LogicLayerBudget().area_fraction(-1.0)
+
+    def test_compute_time_and_energy(self):
+        core = PimComputeSite.in_order_core()
+        assert core.compute_time_ns(2_000_000_000) == pytest.approx(1e9)
+        assert core.compute_energy_j(1000) == pytest.approx(1000 * core.energy_per_op_j)
+        with pytest.raises(ValueError):
+            core.compute_time_ns(-1)
+
+    def test_accelerator_is_more_efficient_per_op(self):
+        core = PimComputeSite.in_order_core()
+        accel = PimComputeSite.fixed_function_accelerator()
+        assert accel.energy_per_op_j < core.energy_per_op_j
+        assert accel.kind is ComputeSiteKind.FIXED_FUNCTION_ACCELERATOR
+
+
+class TestStackNetwork:
+    def test_intra_vs_inter_cube_accounting(self):
+        network = StackNetwork(num_cubes=4)
+        network.add_messages(100, 16, crosses_cube=False)
+        network.add_messages(100, 16, crosses_cube=True)
+        assert network.intra_cube_bytes == 100 * 32
+        assert network.inter_cube_bytes == 100 * 32
+        assert network.inter_cube_time_ns() > network.intra_cube_time_ns()
+        assert network.total_energy_j() > 0
+
+    def test_reset(self):
+        network = StackNetwork()
+        network.add_messages(10, 64, crosses_cube=True)
+        network.reset()
+        assert network.total_time_ns() == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StackNetwork(num_cubes=0)
+        with pytest.raises(ValueError):
+            StackNetwork(average_inter_cube_hops=0.5)
+        network = StackNetwork()
+        with pytest.raises(ValueError):
+            network.add_messages(-1, 8, crosses_cube=False)
+
+    def test_aggregate_link_bandwidth(self):
+        params = InterconnectParameters(inter_cube_link_bandwidth_bytes_per_s=40e9, links_per_cube=4)
+        assert params.inter_cube_bandwidth_bytes_per_s == pytest.approx(160e9)
+
+
+class TestHmcStack:
+    def test_bandwidth_amplification(self):
+        params = HmcParameters.hmc2()
+        assert params.internal_bandwidth_bytes_per_s == pytest.approx(512e9)
+        assert params.bandwidth_amplification == pytest.approx(1.6)
+
+    def test_internal_stream_faster_than_external(self):
+        stack = HmcStack()
+        size = 1 << 30
+        assert stack.internal_stream_time_ns(size) < stack.external_stream_time_ns(size)
+
+    def test_transfer_energy_internal_cheaper_than_external(self):
+        stack = HmcStack()
+        size = 1 << 20
+        assert stack.internal_transfer_energy_j(size) < stack.external_transfer_energy_j(size)
+
+    def test_vault_for_address_interleaves(self):
+        stack = HmcStack()
+        first = stack.vault_for_address(0)
+        second = stack.vault_for_address(256)
+        assert first.index != second.index
+        with pytest.raises(ValueError):
+            stack.vault_for_address(stack.parameters.capacity_bytes)
+
+    def test_negative_sizes_rejected(self):
+        stack = HmcStack()
+        with pytest.raises(ValueError):
+            stack.internal_stream_time_ns(-1)
+        with pytest.raises(ValueError):
+            stack.external_transfer_energy_j(-1)
+
+
+class TestStackedMemorySystem:
+    def test_vault_counts(self):
+        system = StackedMemorySystem(num_stacks=4)
+        assert system.num_stacks == 4
+        assert system.num_vaults == 4 * 32
+        assert len(system.all_vaults()) == system.num_vaults
+
+    def test_total_internal_bandwidth(self):
+        system = StackedMemorySystem(num_stacks=16)
+        assert system.total_internal_bandwidth_bytes_per_s == pytest.approx(16 * 512e9)
+
+    def test_vault_location(self):
+        system = StackedMemorySystem(num_stacks=2)
+        assert system.vault_location(0) == (0, 0)
+        assert system.vault_location(33) == (1, 1)
+        with pytest.raises(IndexError):
+            system.vault_location(64)
+
+    def test_invalid_stack_count(self):
+        with pytest.raises(ValueError):
+            StackedMemorySystem(num_stacks=0)

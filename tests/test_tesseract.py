@@ -1,0 +1,146 @@
+"""Tests for repro.tesseract (message runtime, performance model, baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.algorithms import WorkProfile, pagerank
+from repro.graph.generators import erdos_renyi, regular_grid, rmat
+from repro.graph.partition import partition_graph
+from repro.stacked.hmc import StackedMemorySystem
+from repro.tesseract.baseline import ConventionalGraphSystem, ConventionalParameters
+from repro.tesseract.core import PimCoreParameters
+from repro.tesseract.message import RemoteCall, build_pagerank_runtime, pagerank_superstep
+from repro.tesseract.runtime import TesseractParameters, TesseractSystem
+
+
+class TestPimCoreParameters:
+    def test_compute_time_and_energy(self):
+        core = PimCoreParameters.tesseract()
+        assert core.ops_per_second == pytest.approx(2e9)
+        assert core.compute_time_ns(2e9) == pytest.approx(1e9)
+        assert core.compute_energy_j(100) == pytest.approx(100 * core.dynamic_energy_per_op_j)
+        with pytest.raises(ValueError):
+            core.compute_time_ns(-1)
+
+
+class TestMessagePassingRuntime:
+    def test_pagerank_via_remote_calls_matches_reference(self):
+        graph = regular_grid(6)  # no dangling vertices, undirected
+        partition = partition_graph(graph, 4, vaults_per_cube=2, seed=1)
+        runtime = build_pagerank_runtime(graph, partition)
+        for _ in range(25):
+            pagerank_superstep(runtime)
+        reference, _ = pagerank(graph, max_iterations=25, tolerance=0.0)
+        assert np.allclose(runtime.state["rank"], reference, atol=1e-6)
+
+    def test_message_counts_match_partition_statistics(self):
+        graph = rmat(9, avg_degree=6, seed=4)
+        partition = partition_graph(graph, 8, vaults_per_cube=4, seed=0)
+        runtime = build_pagerank_runtime(graph, partition)
+        stats = pagerank_superstep(runtime)
+        assert stats.total == graph.num_edges
+        assert stats.remote == partition.remote_edges
+        assert stats.inter_cube == partition.inter_cube_remote_edges
+
+    def test_unregistered_handler_raises(self):
+        from repro.tesseract.message import MessageStats
+
+        graph = regular_grid(2)
+        partition = partition_graph(graph, 2, seed=0)
+        runtime = build_pagerank_runtime(graph, partition)
+        # Issue a call with an unknown handler directly and deliver it.
+        runtime.remote_call(0, RemoteCall(0, "unknown", 1.0), MessageStats())
+        with pytest.raises(KeyError):
+            runtime.barrier()
+
+    def test_state_registration_validation(self):
+        graph = regular_grid(2)
+        partition = partition_graph(graph, 2, seed=0)
+        runtime = build_pagerank_runtime(graph, partition)
+        with pytest.raises(ValueError):
+            runtime.add_state("bad", np.zeros(3))
+
+
+class TestTesseractPerformanceModel:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        # An un-skewed graph keeps the 512-vault load imbalance representative
+        # of the paper's (much larger) real-world graphs; the R-MAT generator
+        # at this small scale would concentrate a large fraction of all edges
+        # in a single vault, which no partitioner can balance.
+        graph = erdos_renyi(1 << 14, avg_degree=16, seed=2)
+        partition = partition_graph(graph, 512, vaults_per_cube=32, strategy="degree_balanced")
+        _, profile = pagerank(graph, max_iterations=5)
+        return graph, partition, profile
+
+    def test_execution_result_fields(self, workload):
+        graph, partition, profile = workload
+        system = TesseractSystem(StackedMemorySystem(num_stacks=16))
+        result = system.execute(profile, partition)
+        assert result.time_ns > 0
+        assert result.energy_j > 0
+        assert set(result.breakdown) == {"compute_ns", "local_memory_ns", "network_ns", "barrier_ns"}
+        assert result.energy_breakdown["static_j"] > 0
+
+    def test_partition_vault_count_must_match(self, workload):
+        graph, partition, profile = workload
+        system = TesseractSystem(StackedMemorySystem(num_stacks=8))  # 256 vaults != 512
+        with pytest.raises(ValueError):
+            system.execute(profile, partition)
+
+    def test_tesseract_beats_conventional_baseline(self, workload):
+        graph, partition, profile = workload
+        scaled = profile.scaled(1024)
+        tesseract = TesseractSystem(StackedMemorySystem(num_stacks=16))
+        baseline = ConventionalGraphSystem()
+        pim_result = tesseract.execute(scaled, partition)
+        host_result = baseline.execute(graph, scaled, effective_num_vertices=graph.num_vertices * 1024)
+        assert pim_result.speedup_over(host_result) > 5
+        assert pim_result.energy_reduction_percent(host_result) > 70
+
+    def test_remote_function_calls_beat_remote_reads(self, workload):
+        graph, partition, profile = workload
+        with_rfc = TesseractSystem(StackedMemorySystem(num_stacks=16))
+        without_rfc = TesseractSystem(
+            StackedMemorySystem(num_stacks=16), use_remote_function_calls=False
+        )
+        fast = with_rfc.execute(profile, partition)
+        slow = without_rfc.execute(profile, partition)
+        assert slow.time_ns > 1.3 * fast.time_ns
+        assert slow.breakdown["compute_ns"] > 2 * fast.breakdown["compute_ns"]
+
+    def test_more_cubes_do_not_slow_down(self, workload):
+        graph, _, profile = workload
+        small_partition = partition_graph(graph, 256, vaults_per_cube=32, strategy="degree_balanced")
+        large_partition = partition_graph(graph, 512, vaults_per_cube=32, strategy="degree_balanced")
+        small_system = TesseractSystem(StackedMemorySystem(num_stacks=8))
+        large_system = TesseractSystem(StackedMemorySystem(num_stacks=16))
+        small_result = small_system.execute(profile, small_partition)
+        large_result = large_system.execute(profile, large_partition)
+        assert large_result.time_ns <= small_result.time_ns * 1.05
+
+
+class TestConventionalBaseline:
+    def test_miss_rate_grows_with_graph_size(self):
+        baseline = ConventionalGraphSystem()
+        graph = rmat(12, avg_degree=4, seed=0)
+        profile = WorkProfile("demo", vertex_state_bytes=16)
+        small = baseline.vertex_state_miss_rate(graph, profile)
+        large = baseline.vertex_state_miss_rate(graph, profile, effective_num_vertices=1 << 26)
+        assert large > small
+        assert 0.0 <= small <= 1.0
+
+    def test_execute_memory_bound_for_graph_workloads(self):
+        baseline = ConventionalGraphSystem()
+        graph = rmat(12, avg_degree=8, seed=1)
+        _, profile = pagerank(graph, max_iterations=3)
+        result = baseline.execute(graph, profile, effective_num_vertices=1 << 25)
+        assert result.breakdown["memory_ns"] >= result.breakdown["compute_ns"]
+        assert result.time_ns == pytest.approx(
+            max(result.breakdown["memory_ns"], result.breakdown["compute_ns"])
+        )
+
+    def test_parameters_preset(self):
+        params = ConventionalParameters.ddr3_server()
+        assert params.cores == 32
+        assert params.memory_bandwidth_bytes_per_s == pytest.approx(102.4e9)
