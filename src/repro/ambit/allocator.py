@@ -88,6 +88,8 @@ class RowAllocator:
         self._bank_keys: List[BankKey] = [key for key, _ in device.iter_banks()]
         # Next free data row for each (bank_key, subarray) slot.
         self._next_free: Dict[Tuple[BankKey, int], int] = {}
+        # Rows below the bump pointer that were freed and can be reused.
+        self._free_rows: Dict[Tuple[BankKey, int], List[int]] = {}
 
     @property
     def banks_total(self) -> int:
@@ -99,9 +101,10 @@ class RowAllocator:
         """Subarrays per bank in the underlying device."""
         return self.device.geometry.subarrays_per_bank
 
-    def _slot_for_chunk(self, chunk_index: int) -> Tuple[BankKey, int]:
-        bank_key = self._bank_keys[chunk_index % self.banks_total]
-        subarray = (chunk_index // self.banks_total) % self.subarrays_per_bank
+    def _slot_for_chunk(self, chunk_index: int, bank_offset: int = 0) -> Tuple[BankKey, int]:
+        shifted = chunk_index + bank_offset
+        bank_key = self._bank_keys[shifted % self.banks_total]
+        subarray = (shifted // self.banks_total) % self.subarrays_per_bank
         return bank_key, subarray
 
     def data_rows_per_slot(self) -> int:
@@ -113,11 +116,21 @@ class RowAllocator:
         return self.banks_total * self.subarrays_per_bank * self.layout.data_rows
 
     def allocated_rows(self) -> int:
-        """Rows already handed out."""
-        return sum(self._next_free.values())
+        """Rows already handed out (freed rows excluded)."""
+        return sum(self._next_free.values()) - sum(
+            len(rows) for rows in self._free_rows.values()
+        )
 
-    def allocate(self, num_rows: int) -> RowAllocation:
+    def allocate(self, num_rows: int, bank_offset: int = 0) -> RowAllocation:
         """Allocate ``num_rows`` subarray-aligned data rows.
+
+        Args:
+            num_rows: Row chunks to place.
+            bank_offset: Rotate the round-robin placement so chunk 0 starts
+                at bank ``bank_offset mod B``.  Vectors allocated with the
+                same offset remain mutually subarray-aligned; the batch
+                service layer rotates the offset per request so concurrent
+                requests land on disjoint banks and genuinely overlap.
 
         Raises:
             MemoryError: When any required slot has no free data rows left.
@@ -127,13 +140,20 @@ class RowAllocator:
         placements: List[RowPlacement] = []
         rows_per_subarray = self.device.geometry.rows_per_subarray
         for chunk in range(num_rows):
-            slot = self._slot_for_chunk(chunk)
-            next_row = self._next_free.get(slot, 0)
-            if next_row >= self.layout.data_rows:
-                raise MemoryError(
-                    f"no free data rows left in bank {slot[0]} subarray {slot[1]}"
-                )
-            self._next_free[slot] = next_row + 1
+            slot = self._slot_for_chunk(chunk, bank_offset)
+            reusable = self._free_rows.get(slot)
+            if reusable:
+                next_row = reusable.pop()
+            else:
+                next_row = self._next_free.get(slot, 0)
+                if next_row >= self.layout.data_rows:
+                    # Roll back the chunks placed so far: a failed request
+                    # must not leak rows.
+                    self.free(RowAllocation(placements=placements))
+                    raise MemoryError(
+                        f"no free data rows left in bank {slot[0]} subarray {slot[1]}"
+                    )
+                self._next_free[slot] = next_row + 1
             placements.append(
                 RowPlacement(
                     bank_key=slot[0],
@@ -147,13 +167,21 @@ class RowAllocator:
     def free(self, allocation: RowAllocation) -> None:
         """Return an allocation's rows to the free pool.
 
-        The allocator uses a bump pointer per slot, so only the most recent
-        allocation in each slot can actually be reclaimed; earlier frees are
-        accepted and simply leave the rows unused (matching how a simple
-        PIM-aware OS allocator would behave without compaction).
+        Freed rows go onto a per-slot free list and are handed out again by
+        later :meth:`allocate` calls before the bump pointer advances, so
+        long-running request streams (e.g. the batch service layer's
+        intermediate vectors) no longer leak rows.
         """
         for placement in allocation.placements:
             slot = (placement.bank_key, placement.subarray)
             current = self._next_free.get(slot, 0)
             if current == placement.local_row + 1:
-                self._next_free[slot] = placement.local_row
+                current -= 1
+                # Pop any previously freed rows now sitting at the top.
+                reusable = self._free_rows.get(slot)
+                while reusable and current - 1 in reusable:
+                    reusable.remove(current - 1)
+                    current -= 1
+                self._next_free[slot] = current
+            else:
+                self._free_rows.setdefault(slot, []).append(placement.local_row)

@@ -21,6 +21,25 @@ import numpy as np
 from repro.ambit.allocator import RowAllocation
 
 
+def mask_padding_bytes(data: np.ndarray, num_bits: int) -> np.ndarray:
+    """Zero the padding bits of a packed byte array holding ``num_bits`` bits.
+
+    Clears the high bits of the final partial byte and any whole bytes past
+    it, in place, and returns the array.  Complementing operations (NOT,
+    NAND, NOR, XNOR) set padding bits; every consumer of packed results must
+    see them masked so that both execution paths agree bit for bit.
+    """
+    full_bytes = num_bits // 8
+    remaining = num_bits - full_bytes * 8
+    if remaining:
+        if full_bytes < data.size:
+            data[full_bytes] &= (1 << remaining) - 1
+        data[full_bytes + 1 :] = 0
+    else:
+        data[full_bytes:] = 0
+    return data
+
+
 class BulkBitVector:
     """A bit vector of ``num_bits`` bits stored row-aligned in DRAM.
 
@@ -152,13 +171,7 @@ class BulkBitVector:
 
     def _mask_padding(self) -> None:
         """Zero out the padding bits/bytes past ``num_bits``."""
-        full_bytes = self.num_bits // 8
-        remaining = self.num_bits - full_bytes * 8
-        if remaining:
-            self._data[full_bytes] &= (1 << remaining) - 1
-            self._data[full_bytes + 1 :] = 0
-        else:
-            self._data[full_bytes:] = 0
+        mask_padding_bytes(self._data, self.num_bits)
 
     # ------------------------------------------------------------------
     # Reference (host-side) logic, used to verify the Ambit engine
@@ -181,8 +194,9 @@ class BulkBitVector:
         return self._binary_reference(other, np.bitwise_xor)
 
     def expected_not(self) -> np.ndarray:
-        """Reference result bytes of ``NOT self``."""
-        return np.bitwise_not(self._data[: self.num_bytes])
+        """Reference result bytes of ``NOT self`` (padding bits masked)."""
+        result = np.bitwise_not(self._data[: self.num_bytes])
+        return mask_padding_bytes(result, self.num_bits)
 
     def copy_like(self) -> "BulkBitVector":
         """Return a new, zeroed vector with the same length and row size."""

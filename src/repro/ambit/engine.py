@@ -39,7 +39,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.ambit.allocator import RowAllocation, RowAllocator, RowPlacement
-from repro.ambit.bitvector import BulkBitVector
+from repro.ambit.bitvector import BulkBitVector, mask_padding_bytes
 from repro.ambit.rowgroups import AmbitSubarrayLayout
 from repro.analysis.metrics import OperationMetrics
 from repro.dram.bank import Bank
@@ -74,6 +74,17 @@ _NUMPY_OPS = {
 }
 
 
+def reference_result(op: str, a: BulkBitVector, b: Optional[BulkBitVector]) -> np.ndarray:
+    """Masked NumPy reference of ``op(a, b)`` over the full padded storage.
+
+    Complementing operations set the padding bits past ``a.num_bits``; those
+    are masked here so that the analytical path, the functional path, and
+    every verification compare the same bytes.
+    """
+    expected = _NUMPY_OPS[op](a.data, b.data if b is not None else None).astype(np.uint8)
+    return mask_padding_bytes(expected, a.num_bits)
+
+
 @dataclass
 class AmbitConfig:
     """Tunable execution parameters of the Ambit engine.
@@ -85,10 +96,17 @@ class AmbitConfig:
             bank-count ablation (A1) sweeps it.
         verify_functional: When True, the functional path cross-checks each
             row chunk against the NumPy reference and raises on mismatch.
+        vectorized_functional: When True, the functional path processes all
+            row chunks of an operation with single NumPy calls (and charges
+            the same commands in bulk) instead of walking the chunks through
+            the row-level AAP/TRA simulation one by one.  Bit-exact with the
+            row-level path and identical in latency/energy; the batch
+            service layer enables it to keep large batches cheap.
     """
 
     banks_parallel: Optional[int] = None
     verify_functional: bool = True
+    vectorized_functional: bool = False
 
 
 class AmbitEngine:
@@ -217,27 +235,38 @@ class AmbitEngine:
             metrics = self._execute_analytical(op, a, b, out)
         return out, metrics
 
+    # -- shared cost model ----------------------------------------------
+    def op_cost(
+        self, op: str, num_rows: int, bytes_produced: int = 0, mode: str = "modeled"
+    ) -> OperationMetrics:
+        """Modeled latency/energy of ``op`` over ``num_rows`` row chunks.
+
+        This is the single source of the per-operation cost formula: rows
+        spread over ``min(banks_parallel, rows)`` banks, latency is the
+        per-bank serial share, energy scales with total rows.  Both
+        execution paths, the query cost models, and the batch scheduler
+        charge through here.
+        """
+        banks = min(self.config.banks_parallel, num_rows) if num_rows else 1
+        rows_per_bank = -(-num_rows // banks) if num_rows else 0
+        return OperationMetrics(
+            name=f"ambit_{op}",
+            latency_ns=rows_per_bank * self.per_row_latency_ns(op),
+            energy_j=num_rows * self.per_row_energy_j(op),
+            bytes_moved_on_channel=0,
+            bytes_produced=bytes_produced,
+            notes=f"{mode}, {num_rows} rows over {banks} banks",
+        )
+
+    def _op_metrics(self, op: str, a: BulkBitVector, mode: str) -> OperationMetrics:
+        return self.op_cost(op, a.num_rows, a.num_bytes, mode)
+
     # -- analytical ------------------------------------------------------
     def _execute_analytical(
         self, op: str, a: BulkBitVector, b: Optional[BulkBitVector], out: BulkBitVector
     ) -> OperationMetrics:
-        reference = _NUMPY_OPS[op](a.data, b.data if b is not None else None)
-        out.data[:] = reference
-        out._mask_padding()
-
-        rows = a.num_rows
-        banks = min(self.config.banks_parallel, rows) if rows else 1
-        rows_per_bank = -(-rows // banks)
-        latency_ns = rows_per_bank * self.per_row_latency_ns(op)
-        energy_j = rows * self.per_row_energy_j(op)
-        return OperationMetrics(
-            name=f"ambit_{op}",
-            latency_ns=latency_ns,
-            energy_j=energy_j,
-            bytes_moved_on_channel=0,
-            bytes_produced=a.num_bytes,
-            notes=f"analytical, {rows} rows over {banks} banks",
-        )
+        out.data[:] = reference_result(op, a, b)
+        return self._op_metrics(op, a, "analytical")
 
     # -- functional ------------------------------------------------------
     def _execute_functional(
@@ -256,6 +285,9 @@ class AmbitEngine:
         if b is not None:
             self.commit(b)
 
+        if self.config.vectorized_functional:
+            return self._execute_functional_vectorized(op, a, b, out)
+
         for chunk in range(a.num_rows):
             placement = a.allocation.placements[chunk]
             bank = self._bank(placement)
@@ -265,23 +297,57 @@ class AmbitEngine:
             self._execute_row(op, bank, placement, b_placement, out_placement)
 
         self.read_back(out)
+        # Complementing ops leave the padding bits past num_bits set in the
+        # DRAM rows; mask them in the logical value so both execution paths
+        # agree bit for bit (the rows themselves are refreshed from the
+        # logical value on the next commit()).
+        out._mask_padding()
         if self.config.verify_functional:
-            expected = _NUMPY_OPS[op](a.data, b.data if b is not None else None)
-            produced = out.data
-            if not np.array_equal(produced, expected.astype(np.uint8)):
+            expected = reference_result(op, a, b)
+            if not np.array_equal(out.data, expected):
                 raise AssertionError(f"functional {op} diverged from the reference result")
 
-        rows = a.num_rows
-        banks = min(self.config.banks_parallel, rows) if rows else 1
-        rows_per_bank = -(-rows // banks)
-        return OperationMetrics(
-            name=f"ambit_{op}",
-            latency_ns=rows_per_bank * self.per_row_latency_ns(op),
-            energy_j=rows * self.per_row_energy_j(op),
-            bytes_moved_on_channel=0,
-            bytes_produced=a.num_bytes,
-            notes=f"functional, {rows} rows over {banks} banks",
-        )
+        return self._op_metrics(op, a, "functional")
+
+    def _execute_functional_vectorized(
+        self, op: str, a: BulkBitVector, b: Optional[BulkBitVector], out: BulkBitVector
+    ) -> OperationMetrics:
+        """Batched functional execution: all row chunks in single NumPy calls.
+
+        The result of every row chunk is computed with one vectorized NumPy
+        operation over the whole backing array, then written into the
+        destination rows; each bank is charged the *nominal* command counts
+        of the primitive model (2 ACT + 1 PRE per AAP, 1 ACT + 1 PRE per
+        TRA), which is what latency and energy are billed from.  The
+        row-level path's concrete AAP realization issues additional
+        commands for its scratch-row traffic, so raw counter values are
+        comparable to the cost model, not to that path.  Latency, energy,
+        and results are identical to the row-level path.
+        """
+        aaps, tras = self.primitives_for(op)
+        result = reference_result(op, a, b)
+        for chunk in range(a.num_rows):
+            placement = a.allocation.placements[chunk]
+            bank = self._bank(placement)
+            self._ensure_control_rows(bank, placement.subarray)
+            out_placement = out.allocation.placements[chunk]
+            start = chunk * out.row_size_bytes
+            bank.write_row(out_placement.bank_row, result[start : start + out.row_size_bytes])
+            # Each AAP is ACT-ACT-PRE, each TRA is one (triple) ACT plus PRE.
+            bank.activations += 2 * aaps + tras
+            bank.precharges += aaps + tras
+        out.data[:] = result
+        if self.config.verify_functional:
+            # Round-trip check of the write-back: re-reading the destination
+            # rows catches mis-indexed placements or rows left stale.  (The
+            # value itself comes from the NumPy reference, so unlike the
+            # row-level path there is no independent op simulation to check
+            # against.)
+            self.read_back(out)
+            out._mask_padding()
+            if not np.array_equal(out.data, result):
+                raise AssertionError(f"functional {op} diverged from the reference result")
+        return self._op_metrics(op, a, "functional-vectorized")
 
     def _subarray_base(self, subarray: int) -> int:
         return subarray * self.device.geometry.rows_per_subarray

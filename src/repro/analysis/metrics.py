@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
 
 
 @dataclass
@@ -66,6 +66,69 @@ class OperationMetrics:
         if self.energy_j <= 0:
             raise ValueError("cannot compute energy reduction with non-positive energy")
         return baseline.energy_j / self.energy_j
+
+
+@dataclass
+class BatchMetrics:
+    """Aggregate outcome of executing a batch of operations.
+
+    Energy and bytes are plain sums over the batch (batching never changes
+    how much work the hardware does).  Two latencies are kept: the serial
+    latency the operations would take executed one after another, and the
+    overlapped makespan achieved by scheduling operations onto disjoint
+    banks — the only mechanism by which a batch is allowed to be faster.
+
+    Attributes:
+        name: Label of the batch.
+        requests: Number of requests in the batch.
+        latency_ns: Overlapped (scheduled) batch latency.
+        serial_latency_ns: Latency of executing the batch sequentially.
+        energy_j: Total energy (identical to sequential execution).
+        bytes_produced: Total result bytes produced.
+        per_request: Metrics of each request, in submission order.
+        notes: Free-form annotation.
+    """
+
+    name: str
+    requests: int
+    latency_ns: float
+    serial_latency_ns: float
+    energy_j: float
+    bytes_produced: int = 0
+    per_request: List[OperationMetrics] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def latency_s(self) -> float:
+        """Overlapped latency in seconds."""
+        return self.latency_ns * 1e-9
+
+    @property
+    def batching_speedup(self) -> float:
+        """Serial latency over overlapped latency (>1 means overlap helped)."""
+        if self.latency_ns <= 0:
+            return 1.0
+        return self.serial_latency_ns / self.latency_ns
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Result bytes produced per second at the overlapped latency."""
+        if self.latency_ns <= 0:
+            return 0.0
+        return self.bytes_produced / self.latency_s
+
+
+def combine_serial(name: str, metrics: Iterable[OperationMetrics]) -> OperationMetrics:
+    """Sum a sequence of operations as if executed back to back."""
+    metrics = list(metrics)
+    return OperationMetrics(
+        name=name,
+        latency_ns=sum(m.latency_ns for m in metrics),
+        energy_j=sum(m.energy_j for m in metrics),
+        bytes_moved_on_channel=sum(m.bytes_moved_on_channel for m in metrics),
+        bytes_produced=sum(m.bytes_produced for m in metrics),
+        notes=f"serial combination of {len(metrics)} operations",
+    )
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -36,18 +36,29 @@ class ScanPlan:
     """Bulk-operation plan of one BitWeaving predicate scan.
 
     Attributes:
-        operations: Counts of bulk bitwise operations by kind.
         result_bits: Rows covered (bit-vector length of every operation).
         planes_touched: Number of bit planes the scan read.
+        sequence: The operations in issue order (one entry per operation).
+            Batch executors use the order to fuse adjacent operations (e.g.
+            a NOT feeding straight into an AND) without changing the
+            counts — and therefore the attributed latency and energy.
     """
 
-    operations: Dict[str, int] = field(default_factory=dict)
     result_bits: int = 0
     planes_touched: int = 0
+    sequence: List[str] = field(default_factory=list)
 
     def add(self, op: str, count: int = 1) -> None:
         """Add ``count`` operations of kind ``op`` to the plan."""
-        self.operations[op] = self.operations.get(op, 0) + count
+        self.sequence.extend([op] * count)
+
+    @property
+    def operations(self) -> Dict[str, int]:
+        """Counts of bulk bitwise operations by kind (derived from order)."""
+        counts: Dict[str, int] = {}
+        for op in self.sequence:
+            counts[op] = counts.get(op, 0) + 1
+        return counts
 
     @property
     def total_operations(self) -> int:
@@ -127,6 +138,28 @@ class BitWeavingColumn:
                 plan.add("and")
         return eq, plan
 
+    def scan(self, kind: str, *constants: int) -> Tuple[np.ndarray, ScanPlan]:
+        """Dispatch a predicate scan by name.
+
+        Args:
+            kind: One of ``less_than``, ``less_equal``, ``equal``,
+                ``between``.
+            constants: One constant, or (low, high) for ``between``.
+        """
+        if kind == "less_than":
+            (constant,) = constants
+            return self.scan_less_than(constant)
+        if kind == "less_equal":
+            (constant,) = constants
+            return self.scan_less_equal(constant)
+        if kind == "equal":
+            (constant,) = constants
+            return self.scan_equal(constant)
+        if kind == "between":
+            low, high = constants
+            return self.scan_range(low, high)
+        raise ValueError(f"unknown scan kind {kind!r}")
+
     def scan_range(self, low: int, high: int) -> Tuple[np.ndarray, ScanPlan]:
         """Evaluate ``low <= col <= high``; returns (packed result, plan)."""
         if low > high:
@@ -135,10 +168,10 @@ class BitWeavingColumn:
         at_most_high, plan_high = self._compare(high, include_equal=True)
         result = at_most_high & np.bitwise_not(below_low)
         plan = ScanPlan(result_bits=self.num_rows, planes_touched=2 * self.num_bits)
-        for op, count in plan_low.operations.items():
-            plan.add(op, count)
-        for op, count in plan_high.operations.items():
-            plan.add(op, count)
+        for op in plan_low.sequence:
+            plan.add(op)
+        for op in plan_high.sequence:
+            plan.add(op)
         plan.add("not")
         plan.add("and")
         return result, plan

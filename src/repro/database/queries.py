@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +54,31 @@ class QueryResult:
     latency_ns: float
     energy_j: float
     breakdown: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BatchQueryResult:
+    """Outcome of a batch of queries executed through the service layer.
+
+    Attributes:
+        results: Per-query results, in submission order.
+        serial_latency_ns: Latency of running the queries one at a time.
+        latency_ns: Batched latency (scan makespan with bank-level overlap,
+            plus the host epilogues, which stay serial on the CPU).
+        energy_j: Total energy (identical to sequential execution).
+    """
+
+    results: List[QueryResult] = field(default_factory=list)
+    serial_latency_ns: float = 0.0
+    latency_ns: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def batching_speedup(self) -> float:
+        """Serial over batched latency (>1 means batching helped)."""
+        if self.latency_ns <= 0:
+            return 1.0
+        return self.serial_latency_ns / self.latency_ns
 
 
 @dataclass(frozen=True)
@@ -160,15 +185,12 @@ class QueryEngine:
         rows_per_op = max(
             1, -(-vector_bytes // self.ambit.device.geometry.row_size_bytes)
         )
-        banks = min(self.ambit.config.banks_parallel, rows_per_op)
         latency_ns = 0.0
         energy_j = 0.0
         for op, count in operations.items():
-            per_row_ns = self.ambit.per_row_latency_ns(op)
-            per_row_j = self.ambit.per_row_energy_j(op)
-            rows_per_bank = -(-rows_per_op // banks)
-            latency_ns += count * rows_per_bank * per_row_ns
-            energy_j += count * rows_per_op * per_row_j
+            cost = self.ambit.op_cost(op, rows_per_op)
+            latency_ns += count * cost.latency_ns
+            energy_j += count * cost.energy_j
         return OperationMetrics(
             name="ambit_scan",
             latency_ns=latency_ns,
@@ -244,6 +266,81 @@ class QueryEngine:
         """``SELECT COUNT(*) WHERE low <= col <= high`` on the chosen backend."""
         result, plan = column.scan_range(low, high)
         return self.execute_scan(result, plan, column.num_rows, backend)
+
+    def scan_query_batch(
+        self,
+        scans: Sequence[Tuple[BitWeavingColumn, str, Tuple[int, ...]]],
+        backend: ScanBackend,
+        functional: bool = False,
+    ) -> BatchQueryResult:
+        """Execute many predicate scans as one batch on the chosen backend.
+
+        On the Ambit backend the scans go through the
+        :class:`~repro.service.scheduler.BatchScheduler`, so scans over
+        columns in different banks overlap; on the CPU backend they simply
+        run back to back (a single host core offers no such overlap).  The
+        per-query results, matching counts, and total energy are identical
+        to running each query alone.
+
+        Args:
+            scans: (column, kind, constants) triples; ``kind`` is one of
+                ``less_than, less_equal, equal, between``.
+            backend: Where the bulk bitwise operations execute.
+            functional: On the Ambit backend, execute the scans on the
+                simulated banks rather than analytically.
+        """
+        from repro.service.scheduler import BatchScheduler  # local: avoid cycle
+
+        batch = BatchQueryResult()
+        if backend is ScanBackend.CPU:
+            for column, kind, constants in scans:
+                result_bits, plan = column.scan(kind, *constants)
+                query = self.execute_scan(result_bits, plan, column.num_rows, backend)
+                batch.results.append(query)
+                batch.serial_latency_ns += query.latency_ns
+                batch.latency_ns += query.latency_ns
+                batch.energy_j += query.energy_j
+            return batch
+
+        scheduler = BatchScheduler(engine=self.ambit)
+        for column, kind, constants in scans:
+            scheduler.submit_scan(column, kind, *constants)
+        service_batch = scheduler.execute(functional=functional)
+        scheduler.pool.drain()  # one-shot scheduler: hand the rows back
+
+        epilogue_serial_ns = 0.0
+        for (column, kind, constants), request in zip(scans, service_batch.results):
+            matching = BitmapIndex.count(request.value, column.num_rows)
+            epilogue = self.epilogue_cost(column.num_rows, matching)
+            epilogue_serial_ns += epilogue.latency_ns
+            batch.results.append(
+                QueryResult(
+                    backend=backend,
+                    matching_rows=matching,
+                    latency_ns=request.metrics.latency_ns + epilogue.latency_ns,
+                    energy_j=request.metrics.energy_j + epilogue.energy_j,
+                    breakdown={
+                        "scan_ns": request.metrics.latency_ns,
+                        "epilogue_ns": epilogue.latency_ns,
+                    },
+                )
+            )
+            batch.energy_j += request.metrics.energy_j + epilogue.energy_j
+        batch.serial_latency_ns = (
+            service_batch.metrics.serial_latency_ns + epilogue_serial_ns
+        )
+        batch.latency_ns = service_batch.metrics.latency_ns + epilogue_serial_ns
+        return batch
+
+    def range_count_query_batch(
+        self,
+        ranges: Sequence[Tuple[BitWeavingColumn, int, int]],
+        backend: ScanBackend,
+        functional: bool = False,
+    ) -> BatchQueryResult:
+        """Batched ``SELECT COUNT(*) WHERE low <= col <= high`` queries."""
+        scans = [(column, "between", (low, high)) for column, low, high in ranges]
+        return self.scan_query_batch(scans, backend, functional=functional)
 
     def bitmap_conjunction_query(
         self,

@@ -1,0 +1,28 @@
+"""Batched bulk-operation service layer.
+
+Accepts streams of Ambit bulk bitwise operations, BitWeaving predicate
+scans, and RowClone copies; plans them across banks with operation fusion
+and allocation reuse; executes them batched with bank-level overlap.
+"""
+
+from repro.service.pool import VectorPool
+from repro.service.requests import (
+    BatchResult,
+    BulkOpRequest,
+    CopyRequest,
+    RequestResult,
+    SCAN_KINDS,
+    ScanRequest,
+)
+from repro.service.scheduler import BatchScheduler
+
+__all__ = [
+    "BatchResult",
+    "BatchScheduler",
+    "BulkOpRequest",
+    "CopyRequest",
+    "RequestResult",
+    "SCAN_KINDS",
+    "ScanRequest",
+    "VectorPool",
+]

@@ -1,0 +1,132 @@
+"""Request and result types of the bulk-operation service layer.
+
+A request describes one unit of client work — an Ambit bulk bitwise
+operation, a BitWeaving predicate scan, or a RowClone bulk copy — without
+saying anything about *when* or *where* it runs.  The
+:class:`~repro.service.scheduler.BatchScheduler` collects many requests,
+plans them across banks, and returns one :class:`RequestResult` per request
+plus batch-level aggregate metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.analysis.metrics import BatchMetrics, OperationMetrics
+from repro.database.bitweaving import BitWeavingColumn
+from repro.rowclone.engine import CopyMode
+
+#: Predicate kinds a ScanRequest understands (dispatched to
+#: :meth:`BitWeavingColumn.scan`).
+SCAN_KINDS = ("less_than", "less_equal", "equal", "between")
+
+
+@dataclass
+class BulkOpRequest:
+    """One Ambit bulk bitwise operation: ``out = op(a, b)``.
+
+    Attributes:
+        op: One of ``not, and, or, nand, nor, xor, xnor``.
+        a: First operand.
+        b: Second operand (binary ops only).
+        out: Optional pre-allocated destination.
+    """
+
+    op: str
+    a: BulkBitVector
+    b: Optional[BulkBitVector] = None
+    out: Optional[BulkBitVector] = None
+
+
+@dataclass
+class ScanRequest:
+    """One BitWeaving predicate scan over a vertical column.
+
+    Attributes:
+        column: The BitWeaving/V column to scan.
+        kind: Predicate kind (see :data:`SCAN_KINDS`).
+        constants: One constant, or (low, high) for ``between``.
+    """
+
+    column: BitWeavingColumn
+    kind: str
+    constants: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCAN_KINDS:
+            raise ValueError(f"unknown scan kind {self.kind!r}")
+        expected = 2 if self.kind == "between" else 1
+        if len(self.constants) != expected:
+            raise ValueError(
+                f"{self.kind} takes {expected} constant(s), got {len(self.constants)}"
+            )
+
+
+@dataclass
+class CopyRequest:
+    """One RowClone bulk copy/initialization.
+
+    Attributes:
+        num_bytes: Bytes to copy (or fill when ``fill`` is True).
+        mode: RowClone mechanism to use.
+        fill: Zero-initialize instead of copying.
+    """
+
+    num_bytes: int
+    mode: CopyMode = CopyMode.FPM
+    fill: bool = False
+
+
+ServiceRequest = Union[BulkOpRequest, ScanRequest, CopyRequest]
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one request within a batch.
+
+    Attributes:
+        request: The request that produced this result.
+        metrics: Latency/energy of the request executed on its own (the
+            sequential-execution cost; batching never changes it).
+        value: The result payload — the output vector of a bulk op, the
+            packed result bits of a scan, or None for a copy.
+        start_ns: When the scheduler started the request within the batch.
+        bank_ids: Identities of the banks the request occupied (real
+            placement keys for placed vectors, modeled slots otherwise).
+    """
+
+    request: ServiceRequest
+    metrics: OperationMetrics
+    value: Optional[Union[BulkBitVector, np.ndarray]] = None
+    start_ns: float = 0.0
+    bank_ids: List = field(default_factory=list)
+
+    @property
+    def banks(self) -> int:
+        """How many banks the request occupied."""
+        return max(1, len(self.bank_ids))
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`BatchScheduler.execute` call.
+
+    Attributes:
+        results: One entry per request, in submission order.
+        metrics: Aggregated batch metrics (overlapped and serial latency,
+            total energy, total bytes).
+    """
+
+    results: List[RequestResult] = field(default_factory=list)
+    metrics: Optional[BatchMetrics] = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def values(self) -> List[Optional[Union[BulkBitVector, np.ndarray]]]:
+        """The result payloads in submission order."""
+        return [r.value for r in self.results]

@@ -9,7 +9,7 @@ a mesh).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.stacked.logic_layer import LogicLayerBudget
@@ -37,10 +37,10 @@ class HmcParameters:
 
     name: str = "HMC-2.0"
     num_vaults: int = 32
-    vault: VaultParameters = VaultParameters()
+    vault: VaultParameters = field(default_factory=VaultParameters)
     external_bandwidth_bytes_per_s: float = 320e9
     external_link_energy_pj_per_bit: float = 8.0
-    logic_layer: LogicLayerBudget = LogicLayerBudget()
+    logic_layer: LogicLayerBudget = field(default_factory=LogicLayerBudget)
 
     @classmethod
     def hmc2(cls) -> "HmcParameters":

@@ -47,7 +47,7 @@ class TesseractParameters:
             which is the paper's finding for streaming edge lists).
     """
 
-    core: PimCoreParameters = PimCoreParameters()
+    core: PimCoreParameters = field(default_factory=PimCoreParameters)
     bytes_per_edge: int = 10
     bytes_per_vertex: int = 16
     barrier_latency_ns: float = 2000.0

@@ -55,6 +55,20 @@ class TestAllocation:
         allocator.free(first)
         assert allocator.allocated_rows() < used_before
 
+    def test_failed_allocation_rolls_back_partial_placements(self, small_device):
+        """Regression: a MemoryError mid-allocation must not leak the rows
+        placed before the failure."""
+        allocator = RowAllocator(small_device)
+        capacity = allocator.capacity_rows()
+        everything = allocator.allocate(capacity)
+        allocator.free(everything)
+        assert allocator.allocated_rows() == 0
+        with pytest.raises(MemoryError):
+            allocator.allocate(capacity + 1)
+        assert allocator.allocated_rows() == 0
+        # The full capacity is still allocatable afterwards.
+        allocator.allocate(capacity)
+
     def test_invalid_requests_rejected(self, small_device):
         allocator = RowAllocator(small_device)
         with pytest.raises(ValueError):

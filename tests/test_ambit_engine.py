@@ -70,6 +70,28 @@ class TestFunctionalCorrectness:
         assert returned is out
         assert np.array_equal(out.data[: out.num_bytes], a.expected_and(b))
 
+    @pytest.mark.parametrize("op", ["not", "nand", "nor", "xnor"])
+    def test_complementing_ops_agree_on_padding(self, small_ambit, op):
+        """Regression: the functional path used to return set padding bits
+        for complementing ops while the analytical path masked them."""
+        num_bits = 1003  # not a multiple of 8: 5 padding bits in the last byte
+        a = small_ambit.alloc_vector(num_bits).fill_random(seed=31)
+        b = small_ambit.alloc_vector(num_bits).fill_random(seed=32) if op != "not" else None
+        functional, _ = small_ambit.execute(op, a, b, functional=True)
+        analytical, _ = small_ambit.execute(op, a, b, functional=False)
+        assert np.array_equal(functional.data, analytical.data)
+        # All padding past num_bits is zero on both paths.
+        assert functional.data[num_bits // 8] >> (num_bits % 8) == 0
+        assert functional.data[num_bits // 8 + 1 :].max(initial=0) == 0
+        assert functional.count_ones() == int(functional.to_bits().sum())
+
+    def test_expected_not_masks_padding(self, small_ambit):
+        a = small_ambit.alloc_vector(13).fill_value(1)
+        expected = a.expected_not()
+        assert expected.tolist() == [0, 0]
+        out, _ = small_ambit.execute("not", a, functional=True)
+        assert np.array_equal(out.data[: out.num_bytes], expected)
+
     def test_host_only_vectors_use_analytical_path(self):
         engine = AmbitEngine(DramDevice.ddr3())
         a = BulkBitVector(1 << 16).fill_random(seed=1)
