@@ -12,6 +12,11 @@ identical total energy, which is the service layer's core guarantee.
 A functional pass on a tiny device at the end double-checks bit-exactness
 and shows the allocation pool recycling rows across batches.
 
+This example drives the *one-shot facade* (the caller shapes the batches);
+see ``examples/service_pipeline.py`` for the admission-controlled pipeline
+where the service shapes its own batches from an arrival process, with
+priorities, deadlines, and backpressure.
+
 Run with::
 
     python examples/service_traffic.py

@@ -118,6 +118,94 @@ class BatchMetrics:
         return self.bytes_produced / self.latency_s
 
 
+@dataclass
+class QueueMetrics:
+    """Queueing outcome of serving a request stream through the frontend.
+
+    Latency percentiles are computed over the *completed* requests only;
+    rejected requests never enter service and are counted separately.  Two
+    latencies are tracked per request: the **wait** (admission until the
+    request starts on its banks) and the **sojourn** (admission until its
+    last bank finishes), so ``sojourn - wait`` is the in-service time.
+
+    Attributes:
+        name: Label of the run.
+        offered: Requests presented to the frontend.
+        admitted: Requests accepted into the queue.
+        rejected: Requests refused by admission control.
+        completed: Requests that finished service.
+        deadline_misses: Completed requests that finished past their deadline.
+        wait_p50_ns / wait_p99_ns: Wait-time percentiles.
+        sojourn_p50_ns / sojourn_p99_ns: Sojourn-time percentiles.
+        makespan_ns: Virtual-clock end of the last served batch, measured
+            from the start of the observation window (the clock starts at
+            0, so idle time before the first arrival is included).
+        busy_ns: Time the executor spent serving batches.
+        serial_latency_ns: Latency of serving the completed requests one at
+            a time (the no-overlap baseline).
+        energy_j: Total energy of the completed requests (identical to
+            sequential execution; batching never changes it).
+        batches: Number of batches the planner closed.
+    """
+
+    name: str
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    deadline_misses: int = 0
+    wait_p50_ns: float = 0.0
+    wait_p99_ns: float = 0.0
+    sojourn_p50_ns: float = 0.0
+    sojourn_p99_ns: float = 0.0
+    makespan_ns: float = 0.0
+    busy_ns: float = 0.0
+    serial_latency_ns: float = 0.0
+    energy_j: float = 0.0
+    batches: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered requests refused by admission control."""
+        if self.offered <= 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed requests that missed their deadline."""
+        if self.completed <= 0:
+            return 0.0
+        return self.deadline_misses / self.completed
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Serial latency over executor busy time (>1 means overlap helped)."""
+        if self.busy_ns <= 0:
+            return 1.0
+        return self.serial_latency_ns / self.busy_ns
+
+    @classmethod
+    def from_samples(
+        cls,
+        name: str,
+        wait_ns: Iterable[float],
+        sojourn_ns: Iterable[float],
+        **counts,
+    ) -> "QueueMetrics":
+        """Build metrics from per-request wait/sojourn samples."""
+        waits = list(wait_ns)
+        sojourns = list(sojourn_ns)
+        return cls(
+            name=name,
+            wait_p50_ns=percentile(waits, 50) or 0.0,
+            wait_p99_ns=percentile(waits, 99) or 0.0,
+            sojourn_p50_ns=percentile(sojourns, 50) or 0.0,
+            sojourn_p99_ns=percentile(sojourns, 99) or 0.0,
+            **counts,
+        )
+
+
 def combine_serial(name: str, metrics: Iterable[OperationMetrics]) -> OperationMetrics:
     """Sum a sequence of operations as if executed back to back."""
     metrics = list(metrics)

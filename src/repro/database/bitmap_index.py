@@ -124,6 +124,73 @@ class BitmapIndex:
             operations.append(("and", len(predicates) - 1))
         return result, BitmapPlan(operations=operations, result_bits=self.num_rows)
 
+    # ------------------------------------------------------------------
+    # Lowering to primitive bulk operations (service-pipeline hook)
+    # ------------------------------------------------------------------
+    def lower_conjunction(
+        self,
+        predicates: Sequence[Tuple[str, Sequence[int]]],
+        row_size_bytes: int = 8192,
+    ) -> Tuple[List[Tuple[str, BulkBitVector, BulkBitVector, BulkBitVector]], BulkBitVector, BitmapPlan]:
+        """Lower a conjunction into primitive bulk bitwise steps.
+
+        Each step is ``(op, a, b, out)`` over host-only
+        :class:`BulkBitVector` operands: first the OR chain of each
+        predicate's value bitmaps, then the AND chain across predicates.
+        The steps are data-dependent in order (each ``out`` feeds a later
+        operand), so an executor must run them in sequence.  The step count
+        matches :meth:`evaluate_conjunction`'s :class:`BitmapPlan` exactly,
+        so charging each step at the engine's bulk-operation cost attributes
+        the same total latency and energy as the plan-level cost model.
+
+        Args:
+            predicates: (column, values) pairs.
+            row_size_bytes: Row size of the *target device* — the vectors'
+                row-chunk count, and therefore the cost the executor
+                charges per step, is derived from it.  Callers lowering for
+                an engine must pass its device's row size or the charged
+                cost diverges from the plan-level model.
+
+        Returns:
+            (steps, result vector, plan).  With one single-value predicate
+            the step list is empty and the result is the bitmap itself.
+        """
+        if not predicates:
+            raise ValueError("predicates must not be empty")
+        steps: List[Tuple[str, BulkBitVector, BulkBitVector, BulkBitVector]] = []
+        operations: List[Tuple[str, int]] = []
+        partials: List[BulkBitVector] = []
+        for column, values in predicates:
+            values = list(values)
+            if not values:
+                raise ValueError(f"predicate on {column!r} has no values")
+            acc = self._bitmap_vector(column, values[0], row_size_bytes)
+            for value in values[1:]:
+                out = BulkBitVector(self.num_rows, row_size_bytes)
+                steps.append(
+                    ("or", acc, self._bitmap_vector(column, value, row_size_bytes), out)
+                )
+                acc = out
+            if len(values) > 1:
+                operations.append(("or", len(values) - 1))
+            partials.append(acc)
+        result = partials[0]
+        for partial in partials[1:]:
+            out = BulkBitVector(self.num_rows, row_size_bytes)
+            steps.append(("and", result, partial, out))
+            result = out
+        if len(predicates) > 1:
+            operations.append(("and", len(predicates) - 1))
+        plan = BitmapPlan(operations=operations, result_bits=self.num_rows)
+        return steps, result, plan
+
+    def _bitmap_vector(self, column: str, value: int, row_size_bytes: int) -> BulkBitVector:
+        """A host-only vector holding one value's packed bitmap."""
+        packed = self.bitmap(column, value)
+        vector = BulkBitVector(self.num_rows, row_size_bytes)
+        vector.data[: packed.size] = packed
+        return vector
+
     @staticmethod
     def count(packed_bitmap: np.ndarray, num_rows: int) -> int:
         """COUNT(*) over a packed result bitmap."""

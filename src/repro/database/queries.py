@@ -66,12 +66,18 @@ class BatchQueryResult:
         latency_ns: Batched latency (scan makespan with bank-level overlap,
             plus the host epilogues, which stay serial on the CPU).
         energy_j: Total energy (identical to sequential execution).
+        request_indices: ``request_indices[k]`` is the position, in the
+            submitted query sequence, of the query that produced
+            ``results[k]``.  The identity mapping unless admission control
+            rejected some queries (pipeline entry points only); empty for
+            entry points that always serve everything.
     """
 
     results: List[QueryResult] = field(default_factory=list)
     serial_latency_ns: float = 0.0
     latency_ns: float = 0.0
     energy_j: float = 0.0
+    request_indices: List[int] = field(default_factory=list)
 
     @property
     def batching_speedup(self) -> float:
@@ -351,3 +357,262 @@ class QueryEngine:
         """``SELECT COUNT(*) WHERE col1 IN (...) AND col2 IN (...)`` query."""
         result, plan = index.evaluate_conjunction(predicates)
         return self.execute_scan(result, plan, index.num_rows, backend)
+
+    # ------------------------------------------------------------------
+    # Service-pipeline lowering hooks and entry points
+    # ------------------------------------------------------------------
+    def lower_scan(self, column: BitWeavingColumn, kind: str, constants) -> "ScanRequest":
+        """Lower one predicate scan to a primitive service request.
+
+        The service planner's latency model and the executor share the
+        request's cached (result, plan) evaluation, so lowering here means
+        the scan is priced exactly as :meth:`ambit_scan_cost` prices it.
+        """
+        from repro.service.requests import ScanRequest  # local: avoid cycle
+
+        return ScanRequest(column=column, kind=kind, constants=tuple(constants))
+
+    def lower_conjunction(self, index: BitmapIndex, predicates) -> "BitmapConjunctionRequest":
+        """Lower a bitmap conjunction to a high-level service request.
+
+        The planner expands it into the OR/AND chain of primitive bulk
+        operations via :meth:`BitmapIndex.lower_conjunction`; the chain's
+        charged cost equals :meth:`ambit_scan_cost` of the conjunction's
+        :class:`BitmapPlan`.
+        """
+        from repro.service.requests import BitmapConjunctionRequest  # local: avoid cycle
+
+        return BitmapConjunctionRequest(
+            index=index,
+            predicates=tuple((column, tuple(values)) for column, values in predicates),
+        )
+
+    def scan_query_pipeline(
+        self,
+        scans: Sequence[Tuple[BitWeavingColumn, str, Tuple[int, ...]]],
+        backend: ScanBackend,
+        rate_per_s: float = 1e6,
+        seed: int = 0,
+        priorities: Optional[Sequence[int]] = None,
+        deadline_slack_ns: Optional[float] = None,
+        functional: Optional[bool] = None,
+        frontend: Optional["ServiceFrontend"] = None,
+    ) -> Tuple[BatchQueryResult, "QueueMetrics"]:
+        """Serve predicate scans through the admission-controlled pipeline.
+
+        Scans arrive as a Poisson process at ``rate_per_s`` (starting at
+        the frontend's current virtual clock) and are shaped into batches
+        by the service frontend.  On the Ambit backend the batches overlap
+        across banks; on the CPU backend requests are served one at a time
+        in arrival order (a single host core offers no overlap), through
+        the same queueing accounting.  Per-query matching counts, scan
+        values, and total energy are identical to sequential execution on
+        either backend.
+
+        Host epilogues (popcount + materialization) stay serial on the CPU
+        and are charged into the query latencies and batch totals; waits
+        and sojourns cover the scan service itself.
+
+        Args:
+            functional: Execute on the simulated banks.  None (the
+                default) keeps a caller-supplied frontend's own setting
+                (False for the built-in frontend); passing a bool applies
+                it for this call only.
+
+        Returns:
+            (batched query results, queueing metrics).
+        """
+        from repro.service.executor import BatchExecutor  # local: avoid cycle
+        from repro.service.frontend import (
+            ServiceFrontend,
+            poisson_schedule,
+            summarize_records,
+        )
+
+        requests = [self.lower_scan(column, kind, constants) for column, kind, constants in scans]
+
+        if backend is ScanBackend.CPU:
+            events = poisson_schedule(
+                requests,
+                rate_per_s=rate_per_s,
+                seed=seed,
+                priorities=priorities,
+                deadline_slack_ns=deadline_slack_ns,
+            )
+            return self._cpu_pipeline(scans, events)
+
+        local_frontend = frontend is None
+        if local_frontend:
+            # The default frontend admits the whole workload; callers that
+            # want admission control (bounded queue / occupancy) pass their
+            # own and read the rejections off the returned metrics.
+            frontend = ServiceFrontend(
+                executor=BatchExecutor(engine=self.ambit),
+                max_queue_depth=max(64, len(scans)),
+            )
+        # Arrivals start at the frontend's clock: on a reused frontend,
+        # stamping them at t=0 would count all prior traffic as wait time
+        # and void every arrival-relative deadline.
+        events = poisson_schedule(
+            requests,
+            rate_per_s=rate_per_s,
+            seed=seed,
+            priorities=priorities,
+            deadline_slack_ns=deadline_slack_ns,
+            start_ns=frontend.clock_ns,
+        )
+        # Snapshot a reused frontend so the report covers this call only —
+        # and restore its functional flag, which this call merely borrows.
+        records_before = len(frontend.records)
+        busy_before = frontend.busy_ns
+        clock_before = frontend.clock_ns
+        batches_before = len(frontend.batches)
+        prior_functional = frontend.functional
+        if functional is not None:
+            frontend.functional = functional
+        try:
+            frontend.run(events, name="scan_query_pipeline")
+        finally:
+            frontend.functional = prior_functional
+        if local_frontend:
+            frontend.executor.pool.drain()  # one-shot executor: hand the rows back
+
+        metrics = summarize_records(
+            "scan_query_pipeline",
+            frontend.records[records_before:],
+            makespan_ns=frontend.clock_ns - clock_before,
+            busy_ns=frontend.busy_ns - busy_before,
+            batches=len(frontend.batches) - batches_before,
+        )
+        by_request = {id(record.request): record for record in frontend.records}
+        entries = []
+        for i, (column, _kind, _constants) in enumerate(scans):
+            record = by_request[id(requests[i])]
+            if record.completed:
+                entries.append((i, column.num_rows, record))
+        batch = self._assemble_pipeline_batch(backend, entries, metrics)
+        return batch, metrics
+
+    def _assemble_pipeline_batch(
+        self, backend: ScanBackend, entries, metrics: "QueueMetrics"
+    ) -> BatchQueryResult:
+        """Map completed pipeline records to per-query results + totals.
+
+        Args:
+            backend: Backend the scans executed on.
+            entries: (request_index, num_rows, record) per completed record,
+                in submission order.
+            metrics: This call's queueing summary (supplies the scan-side
+                serial and overlapped latencies).
+
+        Rejected requests produce no entry: ``batch.request_indices`` keeps
+        the result-to-query mapping intact across the gaps.
+        """
+        batch = BatchQueryResult()
+        epilogue_serial_ns = 0.0
+        for request_index, num_rows, record in entries:
+            matching = BitmapIndex.count(record.value, num_rows)
+            epilogue = self.epilogue_cost(num_rows, matching)
+            epilogue_serial_ns += epilogue.latency_ns
+            batch.results.append(
+                QueryResult(
+                    backend=backend,
+                    matching_rows=matching,
+                    latency_ns=record.metrics.latency_ns + epilogue.latency_ns,
+                    energy_j=record.metrics.energy_j + epilogue.energy_j,
+                    breakdown={
+                        "scan_ns": record.metrics.latency_ns,
+                        "epilogue_ns": epilogue.latency_ns,
+                    },
+                )
+            )
+            batch.request_indices.append(request_index)
+            batch.energy_j += record.metrics.energy_j + epilogue.energy_j
+        batch.serial_latency_ns = metrics.serial_latency_ns + epilogue_serial_ns
+        batch.latency_ns = metrics.busy_ns + epilogue_serial_ns
+        return batch
+
+    def _cpu_pipeline(self, scans, events) -> Tuple[BatchQueryResult, "QueueMetrics"]:
+        """FIFO single-server queue over the CPU scan backend."""
+        from repro.analysis.metrics import QueueMetrics
+
+        batch = BatchQueryResult()
+        waits: List[float] = []
+        sojourns: List[float] = []
+        now = 0.0
+        busy = 0.0
+        for event, (column, kind, constants) in sorted(
+            zip(events, scans), key=lambda pair: pair[0].arrival_ns
+        ):
+            result_bits, plan = column.scan(kind, *constants)
+            query = self.execute_scan(result_bits, plan, column.num_rows, ScanBackend.CPU)
+            start = max(now, event.arrival_ns)
+            scan_ns = query.breakdown["scan_ns"]
+            finish = start + scan_ns
+            now = finish
+            busy += scan_ns
+            waits.append(start - event.arrival_ns)
+            sojourns.append(finish - event.arrival_ns)
+            batch.results.append(query)
+            batch.serial_latency_ns += query.latency_ns
+            batch.latency_ns += query.latency_ns
+            batch.energy_j += query.energy_j
+        metrics = QueueMetrics.from_samples(
+            "scan_query_pipeline_cpu",
+            wait_ns=waits,
+            sojourn_ns=sojourns,
+            offered=len(batch.results),
+            admitted=len(batch.results),
+            completed=len(batch.results),
+            makespan_ns=now,
+            busy_ns=busy,
+            serial_latency_ns=sum(q.breakdown["scan_ns"] for q in batch.results),
+            energy_j=batch.energy_j,
+            batches=len(batch.results),
+        )
+        return batch, metrics
+
+    def bitmap_conjunction_query_batch(
+        self,
+        index: BitmapIndex,
+        conjunctions: Sequence[Sequence[Tuple[str, Sequence[int]]]],
+        backend: ScanBackend,
+        functional: bool = False,
+    ) -> BatchQueryResult:
+        """Batched bitmap-conjunction queries through the service pipeline.
+
+        On the Ambit backend each conjunction is lowered to its OR/AND
+        chain of primitive bulk operations and executed through the batch
+        pipeline (chains of different conjunctions may overlap across
+        banks; each chain serializes on its own banks).  Per-query counts,
+        latencies, and energies are identical to
+        :meth:`bitmap_conjunction_query`.
+        """
+        from repro.service.executor import BatchExecutor  # local: avoid cycle
+        from repro.service.frontend import ServiceFrontend, trace_schedule
+
+        batch = BatchQueryResult()
+        if backend is ScanBackend.CPU:
+            for predicates in conjunctions:
+                query = self.bitmap_conjunction_query(index, predicates, backend)
+                batch.results.append(query)
+                batch.serial_latency_ns += query.latency_ns
+                batch.latency_ns += query.latency_ns
+                batch.energy_j += query.energy_j
+            return batch
+
+        frontend = ServiceFrontend(
+            executor=BatchExecutor(engine=self.ambit),
+            max_queue_depth=max(64, len(conjunctions)),
+            functional=functional,
+        )
+        requests = [self.lower_conjunction(index, predicates) for predicates in conjunctions]
+        pipeline = frontend.run(
+            trace_schedule(requests, [0.0] * len(requests)), name="bitmap_conjunctions"
+        )
+        frontend.executor.pool.drain()  # one-shot executor: hand the rows back
+
+        entries = [
+            (i, index.num_rows, record) for i, record in enumerate(pipeline.records)
+        ]
+        return self._assemble_pipeline_batch(backend, entries, pipeline.metrics)

@@ -1,15 +1,37 @@
-"""Batched bulk-operation service layer.
+"""The admission-controlled bulk-operation service pipeline.
 
-Accepts streams of Ambit bulk bitwise operations, BitWeaving predicate
-scans, and RowClone copies; plans them across banks with operation fusion
-and allocation reuse; executes them batched with bank-level overlap.
+Three stages serve streams of in-DRAM work (Ambit bulk bitwise operations,
+BitWeaving predicate scans, RowClone copies, bitmap-index conjunctions):
+
+* :class:`ServiceFrontend` — arrival processes (Poisson / trace), a
+  bounded priority queue with admission control, and per-request deadlines;
+* :class:`BatchPlanner` — closes batches by policy (size / time window /
+  deadline urgency) and lowers high-level requests into primitives;
+* :class:`BatchExecutor` — pure execution with bank-level overlap (LPT
+  makespan scheduling), operation fusion, and allocation reuse.
+
+:class:`BatchScheduler` remains as the one-shot facade for callers that
+hand-build their own batches.
 """
 
+from repro.service.executor import BatchExecutor
+from repro.service.frontend import (
+    ArrivalEvent,
+    PipelineResult,
+    ServiceFrontend,
+    poisson_schedule,
+    summarize_records,
+    trace_schedule,
+)
+from repro.service.planner import BatchPlanner, BatchPolicy, LoweredGroup
 from repro.service.pool import VectorPool
 from repro.service.requests import (
     BatchResult,
+    BitmapConjunctionRequest,
     BulkOpRequest,
     CopyRequest,
+    FrontendRequest,
+    QueuedRequest,
     RequestResult,
     SCAN_KINDS,
     ScanRequest,
@@ -17,12 +39,25 @@ from repro.service.requests import (
 from repro.service.scheduler import BatchScheduler
 
 __all__ = [
+    "ArrivalEvent",
+    "BatchExecutor",
+    "BatchPlanner",
+    "BatchPolicy",
     "BatchResult",
     "BatchScheduler",
+    "BitmapConjunctionRequest",
     "BulkOpRequest",
     "CopyRequest",
+    "FrontendRequest",
+    "LoweredGroup",
+    "PipelineResult",
+    "QueuedRequest",
     "RequestResult",
     "SCAN_KINDS",
     "ScanRequest",
+    "ServiceFrontend",
     "VectorPool",
+    "poisson_schedule",
+    "summarize_records",
+    "trace_schedule",
 ]

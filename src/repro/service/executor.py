@@ -1,0 +1,531 @@
+"""The batch executor: pure execution of primitive service requests.
+
+:class:`BatchExecutor` is the third stage of the service pipeline
+(frontend → planner → executor).  It takes an already-shaped list of
+primitive requests — Ambit bulk bitwise operations, BitWeaving predicate
+scans, RowClone bulk copies — executes each one, and list-schedules the
+results onto the device's banks to obtain the batch makespan.  It holds no
+queue and applies no policy: admission lives in
+:class:`~repro.service.frontend.ServiceFrontend`, batch shaping and
+lowering in :class:`~repro.service.planner.BatchPlanner`.
+
+Three execution optimizations make batches cheap without changing what the
+hardware is charged for:
+
+* **Bank-level overlap** — requests whose rows live in disjoint banks
+  proceed concurrently (the DDR command bus has ample headroom for AAP
+  sequences), so the batch finishes in the makespan of a per-bank schedule
+  rather than the sum of request latencies.  Requests are ordered longest
+  processing time first (LPT) before the greedy bank assignment, which
+  tightens the makespan over submission order.  This is the *only* way a
+  batch may be faster: per-request latency and total energy are identical
+  to sequential execution, which the property tests pin down.
+* **Operation fusion** — within a batch, the complement of a bit plane is
+  materialized at most once and reused by every step that needs it (the
+  NOT feeding an AND in the BitWeaving recurrence, the shared planes of a
+  ``between``'s two half-scans), and control rows are initialized once per
+  subarray across the whole batch.  Every fused operation is still charged
+  at full cost; fusion only removes redundant simulation work and row
+  traffic.
+* **Allocation reuse** — intermediate vectors come from a small LRU pool
+  (:class:`~repro.service.pool.VectorPool`), so a long request stream
+  recycles a bounded set of DRAM rows instead of bleeding the allocator
+  dry.
+
+Functional execution goes through the engine's vectorized functional path
+(every row chunk of an operation in one NumPy call); results are bit-exact
+with one-at-a-time sequential execution on either path.  For large soak
+runs, ``verify_fraction`` executes only a deterministic seeded subset of
+each batch on the simulated banks (with verification) and the rest
+analytically — values are bit-exact either way, so sampling changes no
+results and no charged costs.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.ambit.engine import AmbitConfig, AmbitEngine
+from repro.analysis.metrics import BatchMetrics, OperationMetrics, combine_serial
+from repro.database.bitweaving import BitWeavingColumn
+from repro.rowclone.engine import RowCloneEngine
+from repro.service.pool import VectorPool
+from repro.service.requests import (
+    BatchResult,
+    BulkOpRequest,
+    CopyRequest,
+    RequestResult,
+    ScanRequest,
+    ServiceRequest,
+)
+
+
+@dataclass
+class _BatchContext:
+    """Per-run state: plane/complement caches and fusion accounting."""
+
+    plane_vectors: Dict[Tuple[int, int, int], BulkBitVector] = field(default_factory=dict)
+    not_vectors: Dict[Tuple[int, int, int], BulkBitVector] = field(default_factory=dict)
+    fused_ops: int = 0
+
+
+class BatchExecutor:
+    """Executes batches of primitive bulk in-DRAM requests.
+
+    Args:
+        engine: Ambit engine to execute on.  When omitted, an engine with
+            the vectorized functional path enabled is created.
+        rowclone: RowClone engine for copy requests (created on the same
+            device when omitted).
+        pool_capacity: Size of the LRU pool of intermediate row allocations.
+        fuse: Enable operation fusion (shared plane complements).  Fusion
+            never changes results or charged costs; disabling it is only
+            useful for A/B testing the planner.
+        lpt: Order requests longest-latency-first before the greedy bank
+            assignment (LPT list scheduling).  Ordering only moves start
+            times within the batch; per-request results, latencies, and
+            energies are unchanged.  Disabling falls back to submission
+            order, useful for A/B-testing the makespan.
+        verify_fraction: Fraction of each batch's requests that a
+            ``functional=True`` run executes on the simulated banks (and
+            verifies); the rest run analytically.  Sampling is
+            deterministic in ``verify_seed``, the executor's batch counter,
+            and the request's position, so a run is reproducible.
+        verify_seed: Seed of the verification sampler.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[AmbitEngine] = None,
+        rowclone: Optional[RowCloneEngine] = None,
+        pool_capacity: int = 16,
+        fuse: bool = True,
+        lpt: bool = True,
+        verify_fraction: float = 1.0,
+        verify_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ValueError("verify_fraction must be in [0, 1]")
+        self.engine = engine or AmbitEngine(config=AmbitConfig(vectorized_functional=True))
+        self.rowclone = rowclone or RowCloneEngine(
+            self.engine.device, banks_parallel=self.engine.config.banks_parallel
+        )
+        self.pool = VectorPool(self.engine, capacity=pool_capacity)
+        self.fuse = fuse
+        self.lpt = lpt
+        self.verify_fraction = verify_fraction
+        self.verify_seed = verify_seed
+        #: Requests executed on the simulated banks across all runs.
+        self.functional_executed = 0
+        #: Functional-mode requests diverted to the analytical path by
+        #: ``verify_fraction`` sampling.
+        self.sampled_out = 0
+        self._batches_run = 0
+        # Weakly keyed: a dead column must not pin its offset (or leak an
+        # entry) — id() reuse would hand stale offsets to new columns.
+        self._column_offsets: "weakref.WeakKeyDictionary[BitWeavingColumn, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._object_offsets: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._next_offset = 0
+        self._bank_keys = [key for key, _ in self.engine.device.iter_banks()]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, requests: List[ServiceRequest], functional: bool = False) -> BatchResult:
+        """Run a shaped batch and return per-request + batch results.
+
+        Args:
+            requests: Primitive requests, in submission order (results come
+                back in the same order; only the *schedule* reorders).
+            functional: Execute on the simulated banks (bit-exact row data
+                in DRAM) instead of the analytical path.  Results are
+                identical either way; the functional path additionally
+                verifies them against the banks' contents, subject to
+                ``verify_fraction`` sampling.
+        """
+        for request in requests:
+            if not isinstance(request, (BulkOpRequest, ScanRequest, CopyRequest)):
+                raise TypeError(f"unknown request type {type(request).__name__}")
+        batch_index = self._batches_run
+        self._batches_run += 1
+        context = _BatchContext()
+        results: List[RequestResult] = []
+        for index, request in enumerate(requests):
+            run_functional = functional and self._verify_sampled(batch_index, index)
+            if functional:
+                if run_functional:
+                    self.functional_executed += 1
+                else:
+                    self.sampled_out += 1
+            if isinstance(request, BulkOpRequest):
+                results.append(self._run_bulk_op(request, run_functional))
+            elif isinstance(request, ScanRequest):
+                results.append(self._run_scan(request, context, run_functional))
+            else:
+                results.append(self._run_copy(request))
+        self._release_context(context)
+
+        makespan = self._schedule(results)
+        serial = combine_serial("batch_serial", (r.metrics for r in results))
+        metrics = BatchMetrics(
+            name="service_batch",
+            requests=len(results),
+            latency_ns=makespan,
+            serial_latency_ns=serial.latency_ns,
+            energy_j=serial.energy_j,
+            bytes_produced=serial.bytes_produced,
+            per_request=[r.metrics for r in results],
+            notes=f"{context.fused_ops} fused ops" if context.fused_ops else "",
+        )
+        return BatchResult(results=results, metrics=metrics)
+
+    def _verify_sampled(self, batch_index: int, request_index: int) -> bool:
+        """Deterministic seeded choice: execute this request on the banks?"""
+        if self.verify_fraction >= 1.0:
+            return True
+        if self.verify_fraction <= 0.0:
+            return False
+        rng = np.random.default_rng([self.verify_seed, batch_index, request_index])
+        return bool(rng.random() < self.verify_fraction)
+
+    # ------------------------------------------------------------------
+    # Latency model (used by the planner for LPT and deadline urgency)
+    # ------------------------------------------------------------------
+    def modeled_latency_ns(self, request: ServiceRequest) -> float:
+        """Sequential-execution latency the request will be charged."""
+        if isinstance(request, BulkOpRequest):
+            return self.engine.op_cost(request.op, request.a.num_rows).latency_ns
+        if isinstance(request, ScanRequest):
+            return self._scan_metrics(request).latency_ns
+        if isinstance(request, CopyRequest):
+            if request.fill:
+                return self.rowclone.bulk_fill(request.num_bytes).latency_ns
+            return self.rowclone.bulk_copy(request.num_bytes, request.mode).latency_ns
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
+    def _scan_metrics(self, request: ScanRequest) -> OperationMetrics:
+        """Charged cost of a scan (identical to the plan-level cost model)."""
+        expected, plan = request.scan_result()
+        rows = max(1, -(-len(expected) // self.engine.device.geometry.row_size_bytes))
+        per_op = [
+            self.engine.op_cost(op, rows, (request.column.num_rows + 7) // 8)
+            for op in plan.sequence
+        ]
+        metrics = combine_serial(f"ambit_scan_{request.kind}", per_op)
+        metrics.bytes_produced = len(expected)
+        metrics.notes = f"{plan.total_operations} bulk ops over {plan.planes_touched} planes"
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Per-request execution
+    # ------------------------------------------------------------------
+    def _run_bulk_op(self, request: BulkOpRequest, functional: bool) -> RequestResult:
+        if functional and request.a.allocation is None:
+            return self._run_bulk_op_staged(request)
+        out, metrics = self.engine.execute(
+            request.op, request.a, request.b, out=request.out, functional=functional
+        )
+        bank_ids = self._request_banks(request, request.a.num_rows)
+        return RequestResult(request=request, metrics=metrics, value=out, bank_ids=bank_ids)
+
+    def _run_bulk_op_staged(self, request: BulkOpRequest) -> RequestResult:
+        """Functional execution of a bulk op over host-only operands.
+
+        The operands are staged into pooled, placed vectors (one bank
+        offset keeps them subarray-aligned), executed on the banks, and the
+        result is copied back into the request's destination.  The charged
+        cost comes from the request's own shape — exactly what the
+        analytical path charges — not from the staged vectors, whose
+        device-row-size chunking is simulation plumbing; a sampled
+        (``verify_fraction``) batch therefore charges identically however
+        each request is sampled.
+        """
+        offset = (request.bank_offset or 0) % self.banks_available()
+        logical = request.a.num_bytes
+        a = self._acquire(request.a.num_bits, offset)
+        a.data[:] = 0
+        a.data[:logical] = request.a.data[:logical]
+        b = None
+        if request.b is not None:
+            b = self._acquire(request.b.num_bits, offset)
+            b.data[:] = 0
+            b.data[:logical] = request.b.data[:logical]
+        out_staged = self._acquire(request.a.num_bits, offset)
+        self.engine.execute(request.op, a, b, out=out_staged, functional=True)
+        metrics = self.engine.op_cost(
+            request.op, request.a.num_rows, request.a.num_bytes, mode="functional staged"
+        )
+        out = request.out if request.out is not None else request.a.copy_like()
+        out.data[:] = 0
+        out.data[:logical] = out_staged.data[:logical]
+        self._release(a, offset)
+        if b is not None:
+            self._release(b, offset)
+        self._release(out_staged, offset)
+        bank_ids = self._request_banks(request, request.a.num_rows)
+        return RequestResult(request=request, metrics=metrics, value=out, bank_ids=bank_ids)
+
+    def _run_copy(self, request: CopyRequest) -> RequestResult:
+        if request.fill:
+            metrics = self.rowclone.bulk_fill(request.num_bytes)
+        else:
+            metrics = self.rowclone.bulk_copy(request.num_bytes, request.mode)
+        rows = max(1, -(-request.num_bytes // self.engine.device.geometry.row_size_bytes))
+        bank_ids = self._modeled_banks(rows, self._rotate_offset(rows))
+        return RequestResult(request=request, metrics=metrics, value=None, bank_ids=bank_ids)
+
+    def _run_scan(
+        self, request: ScanRequest, context: _BatchContext, functional: bool
+    ) -> RequestResult:
+        column = request.column
+        expected, _plan = request.scan_result()
+        metrics = self._scan_metrics(request)
+
+        if functional:
+            produced = self._functional_scan(request, context)
+            if not np.array_equal(produced, expected):
+                raise AssertionError(
+                    f"functional {request.kind} scan diverged from the analytical result"
+                )
+            value = produced
+        else:
+            value = expected
+        rows = max(1, -(-len(expected) // self.engine.device.geometry.row_size_bytes))
+        bank_ids = self._modeled_banks(rows, self._column_offset(column))
+        return RequestResult(request=request, metrics=metrics, value=value, bank_ids=bank_ids)
+
+    # ------------------------------------------------------------------
+    # Functional BitWeaving execution (fused)
+    # ------------------------------------------------------------------
+    def _functional_scan(self, request: ScanRequest, context: _BatchContext) -> np.ndarray:
+        column = request.column
+        offset = self._column_offset(column)
+        if request.kind == "equal":
+            result = self._functional_equal(column, request.constants[0], context, offset)
+        elif request.kind == "between":
+            low, high = request.constants
+            below_low = self._functional_compare(column, low, False, context, offset)
+            at_most_high = self._functional_compare(column, high, True, context, offset)
+            not_low = self._vec_op(context, "not", below_low, None, offset)
+            self._release(below_low, offset)
+            result = self._vec_op(context, "and", at_most_high, not_low, offset)
+            self._release(at_most_high, offset)
+            self._release(not_low, offset)
+        else:
+            include_equal = request.kind == "less_equal"
+            result = self._functional_compare(
+                column, request.constants[0], include_equal, context, offset
+            )
+        packed = result.data[: (column.num_rows + 7) // 8].copy()
+        self._release(result, offset)
+        return packed
+
+    def _functional_compare(
+        self,
+        column: BitWeavingColumn,
+        constant: int,
+        include_equal: bool,
+        context: _BatchContext,
+        offset: int,
+    ) -> BulkBitVector:
+        lt = self._acquire(column.num_rows, offset).fill_value(0)
+        eq = self._acquire(column.num_rows, offset).fill_value(1)
+        for bit in reversed(range(column.num_bits)):
+            if (constant >> bit) & 1:
+                plane = self._plane_vector(column, bit, context, offset)
+                not_plane = self._not_plane(column, bit, context, offset)
+                partial = self._vec_op(context, "and", eq, not_plane, offset)
+                self._done_with_not(not_plane, offset)
+                lt_next = self._vec_op(context, "or", lt, partial, offset)
+                self._release(lt, offset)
+                self._release(partial, offset)
+                lt = lt_next
+                eq_next = self._vec_op(context, "and", eq, plane, offset)
+                self._release(eq, offset)
+                eq = eq_next
+            else:
+                not_plane = self._not_plane(column, bit, context, offset)
+                eq_next = self._vec_op(context, "and", eq, not_plane, offset)
+                self._done_with_not(not_plane, offset)
+                self._release(eq, offset)
+                eq = eq_next
+        if include_equal:
+            result = self._vec_op(context, "or", lt, eq, offset)
+            self._release(lt, offset)
+            self._release(eq, offset)
+            return result
+        self._release(eq, offset)
+        return lt
+
+    def _functional_equal(
+        self, column: BitWeavingColumn, constant: int, context: _BatchContext, offset: int
+    ) -> BulkBitVector:
+        eq = self._acquire(column.num_rows, offset).fill_value(1)
+        for bit in reversed(range(column.num_bits)):
+            complemented = not (constant >> bit) & 1
+            if complemented:
+                operand = self._not_plane(column, bit, context, offset)
+            else:
+                operand = self._plane_vector(column, bit, context, offset)
+            eq_next = self._vec_op(context, "and", eq, operand, offset)
+            if complemented:
+                self._done_with_not(operand, offset)
+            self._release(eq, offset)
+            eq = eq_next
+        return eq
+
+    def _vec_op(
+        self,
+        context: _BatchContext,
+        op: str,
+        a: BulkBitVector,
+        b: Optional[BulkBitVector],
+        offset: int,
+    ) -> BulkBitVector:
+        out = self._acquire(a.num_bits, offset)
+        _, _metrics = self.engine.execute(op, a, b, out=out, functional=True)
+        return out
+
+    def _plane_vector(
+        self, column: BitWeavingColumn, bit: int, context: _BatchContext, offset: int
+    ) -> BulkBitVector:
+        key = (id(column), bit, offset)
+        vector = context.plane_vectors.get(key)
+        if vector is None:
+            vector = self._acquire(column.num_rows, offset)
+            plane = column.planes[bit]
+            vector.data[:] = 0
+            vector.data[: plane.size] = plane
+            context.plane_vectors[key] = vector
+        return vector
+
+    def _not_plane(
+        self, column: BitWeavingColumn, bit: int, context: _BatchContext, offset: int
+    ) -> BulkBitVector:
+        """The complement of a bit plane, materialized at most once per batch.
+
+        The first use executes a real NOT on the engine; later uses reuse
+        the cached complement row data (a fused NOT).  The *caller* charges
+        every NOT at full cost through the scan plan regardless, so fusion
+        never changes attributed latency or energy.
+        """
+        key = (id(column), bit, offset)
+        vector = context.not_vectors.get(key) if self.fuse else None
+        if vector is None:
+            plane = self._plane_vector(column, bit, context, offset)
+            vector = self._vec_op(context, "not", plane, None, offset)
+            if self.fuse:
+                context.not_vectors[key] = vector
+        else:
+            context.fused_ops += 1
+        return vector
+
+    def _done_with_not(self, vector: BulkBitVector, offset: int) -> None:
+        """Release an unfused complement right after its single use.
+
+        Fused complements stay cached in the batch context for reuse and
+        are released when the batch completes.
+        """
+        if not self.fuse:
+            self._release(vector, offset)
+
+    def _release_context(self, context: _BatchContext) -> None:
+        for key, vector in context.plane_vectors.items():
+            self.pool.release(vector, bank_offset=key[2])
+        for key, vector in context.not_vectors.items():
+            self.pool.release(vector, bank_offset=key[2])
+        context.plane_vectors.clear()
+        context.not_vectors.clear()
+
+    def _acquire(self, num_bits: int, offset: int) -> BulkBitVector:
+        return self.pool.acquire(num_bits, bank_offset=offset)
+
+    def _release(self, vector: BulkBitVector, offset: int) -> None:
+        self.pool.release(vector, bank_offset=offset)
+
+    # ------------------------------------------------------------------
+    # Bank assignment and makespan scheduling
+    # ------------------------------------------------------------------
+    def _column_offset(self, column: BitWeavingColumn) -> int:
+        """Stable bank offset per column: a column's planes live in fixed
+        banks, so every scan of it contends for the same banks."""
+        offset = self._column_offsets.get(column)
+        if offset is None:
+            offset = self._next_offset
+            self._next_offset = (self._next_offset + 1) % self.banks_available()
+            self._column_offsets[column] = offset
+        return offset
+
+    def stable_offset(self, obj) -> int:
+        """Stable bank offset for any weak-referenceable owner object.
+
+        The planner pins every lowered step of one high-level request (e.g.
+        a bitmap index's conjunctions) to its owner's offset, so the
+        data-dependent steps serialize on one set of modeled banks — the
+        same contention rule columns follow.
+        """
+        offset = self._object_offsets.get(obj)
+        if offset is None:
+            offset = self._next_offset
+            self._next_offset = (self._next_offset + 1) % self.banks_available()
+            self._object_offsets[obj] = offset
+        return offset
+
+    def _rotate_offset(self, rows: int) -> int:
+        offset = self._next_offset
+        self._next_offset = (self._next_offset + max(1, rows)) % self.banks_available()
+        return offset
+
+    def banks_available(self) -> int:
+        return min(self.engine.config.banks_parallel, self.engine.allocator.banks_total)
+
+    def _modeled_banks(self, rows: int, offset: int) -> List:
+        """Bank keys a request of ``rows`` chunks occupies from ``offset``.
+
+        Uses the same id space as real placements (the device's bank keys)
+        so modeled and placed requests contend for the same banks.
+        """
+        available = self.banks_available()
+        return [self._bank_keys[(offset + i) % available] for i in range(min(rows, available))]
+
+    def _request_banks(self, request: BulkOpRequest, rows: int) -> List:
+        vector = request.a
+        if vector.allocation is not None and vector.allocation.placements:
+            return sorted({p.bank_key for p in vector.allocation.placements})
+        if request.bank_offset is not None:
+            return self._modeled_banks(rows, request.bank_offset % self.banks_available())
+        return self._modeled_banks(rows, self._rotate_offset(rows))
+
+    def _schedule(self, results: List[RequestResult]) -> float:
+        """Greedy per-bank list schedule; returns the batch makespan.
+
+        Each request occupies its banks for its full sequential latency; a
+        request starts once all of its banks are free.  Requests on
+        disjoint banks therefore overlap completely, while requests
+        contending for a bank serialize — exactly the paper's bank-level
+        parallelism and nothing more.  With ``lpt`` (the default) requests
+        are placed longest first, the classic LPT heuristic, which tightens
+        the makespan over submission order without touching any result.
+        """
+        if self.lpt:
+            order = sorted(results, key=lambda r: -r.metrics.latency_ns)
+        else:
+            order = results
+        load: Dict = {}
+        makespan = 0.0
+        for result in order:
+            banks = result.bank_ids or [0]
+            start = max(load.get(bank, 0.0) for bank in banks)
+            result.start_ns = start
+            finish = start + result.metrics.latency_ns
+            for bank in banks:
+                load[bank] = finish
+            makespan = max(makespan, finish)
+        return makespan

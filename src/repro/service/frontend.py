@@ -1,0 +1,378 @@
+"""The service frontend: arrivals, admission control, and the request queue.
+
+:class:`ServiceFrontend` is the first stage of the service pipeline
+(frontend → planner → executor).  It accepts a *stream* of requests — from
+a Poisson arrival process, a recorded trace, or direct :meth:`offer` calls
+— into a bounded priority queue, applies admission control, and drives the
+:class:`~repro.service.planner.BatchPlanner` /
+:class:`~repro.service.executor.BatchExecutor` pair on a virtual clock.
+
+**Admission control.**  A request is rejected (never queued, never served)
+when the queue is at ``max_queue_depth``, or when the modeled bank
+occupancy — the queued requests' sequential latencies spread over the
+device's parallel banks — already exceeds ``max_backlog_ns``.  Rejected
+requests are counted and returned to the caller with a reason; a real
+deployment would translate this into backpressure.
+
+**Queue order.**  Higher ``priority`` first, then earliest deadline, then
+FIFO — so latency-critical classes overtake bulk work without starving it
+(the batch window bounds the wait of everything admitted).
+
+**Virtual time.**  The frontend simulates in nanoseconds, consistent with
+the rest of the stack: arrivals happen at their timestamps, a batch
+occupies the executor for its makespan, and requests arriving during
+service are admitted (against the live queue) before the next batch
+closes.  Per-request wait and sojourn times, deadline misses, and
+rejections are summarized in :class:`~repro.analysis.metrics.QueueMetrics`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import QueueMetrics
+from repro.service.executor import BatchExecutor
+from repro.service.planner import BatchPlanner, BatchPolicy
+from repro.service.requests import BatchResult, FrontendRequest, QueuedRequest
+
+
+@dataclass
+class ArrivalEvent:
+    """One request arriving at a point of virtual time.
+
+    Attributes:
+        request: The request (primitive or high-level).
+        arrival_ns: Arrival timestamp on the frontend's clock.
+        priority: Larger values are served first.
+        deadline_ns: Absolute completion deadline, or None.
+    """
+
+    request: FrontendRequest
+    arrival_ns: float
+    priority: int = 0
+    deadline_ns: Optional[float] = None
+
+
+def poisson_schedule(
+    requests: Sequence[FrontendRequest],
+    rate_per_s: float,
+    seed: int = 0,
+    priorities: Optional[Sequence[int]] = None,
+    deadline_slack_ns: Optional[float] = None,
+    start_ns: float = 0.0,
+) -> List[ArrivalEvent]:
+    """Schedule requests as a Poisson arrival process.
+
+    Args:
+        requests: The requests, in arrival order.
+        rate_per_s: Mean arrival rate (requests per second).
+        seed: Seed of the exponential inter-arrival draws.
+        priorities: Optional per-request priorities.
+        deadline_slack_ns: When given, each request's deadline is its
+            arrival time plus this slack.
+        start_ns: Virtual-clock origin of the process.  When feeding a
+            frontend that has already served traffic, pass its
+            ``clock_ns`` — arrivals stamped before the frontend's current
+            clock would be accounted as having waited since t=0.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    rng = np.random.default_rng(seed)
+    events: List[ArrivalEvent] = []
+    now = float(start_ns)
+    for i, request in enumerate(requests):
+        now += rng.exponential(1e9 / rate_per_s)
+        events.append(
+            ArrivalEvent(
+                request=request,
+                arrival_ns=now,
+                priority=priorities[i] if priorities is not None else 0,
+                deadline_ns=now + deadline_slack_ns if deadline_slack_ns is not None else None,
+            )
+        )
+    return events
+
+
+def trace_schedule(
+    requests: Sequence[FrontendRequest],
+    arrival_times_ns: Sequence[float],
+    priorities: Optional[Sequence[int]] = None,
+    deadlines_ns: Optional[Sequence[Optional[float]]] = None,
+) -> List[ArrivalEvent]:
+    """Schedule requests at recorded trace timestamps."""
+    if len(requests) != len(arrival_times_ns):
+        raise ValueError("requests and arrival_times_ns differ in length")
+    events = []
+    for i, (request, at) in enumerate(zip(requests, arrival_times_ns)):
+        events.append(
+            ArrivalEvent(
+                request=request,
+                arrival_ns=float(at),
+                priority=priorities[i] if priorities is not None else 0,
+                deadline_ns=deadlines_ns[i] if deadlines_ns is not None else None,
+            )
+        )
+    return events
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of serving a request stream through the pipeline.
+
+    Attributes:
+        records: Every offered request's envelope, in offer order —
+            including rejected ones (check :attr:`QueuedRequest.admitted`).
+        batches: The executor's per-batch results, in service order.
+        metrics: Queueing summary (percentiles, misses, rejections).
+    """
+
+    records: List[QueuedRequest] = field(default_factory=list)
+    batches: List[BatchResult] = field(default_factory=list)
+    metrics: Optional[QueueMetrics] = None
+
+    def completed(self) -> List[QueuedRequest]:
+        """Envelopes that finished service, in offer order."""
+        return [r for r in self.records if r.completed]
+
+    def rejected(self) -> List[QueuedRequest]:
+        """Envelopes refused by admission control, in offer order."""
+        return [r for r in self.records if not r.admitted]
+
+
+def summarize_records(
+    name: str,
+    records: Sequence[QueuedRequest],
+    makespan_ns: float,
+    busy_ns: float,
+    batches: int,
+) -> QueueMetrics:
+    """Queueing summary over a window of request envelopes.
+
+    Used by :meth:`ServiceFrontend.result` over the frontend's lifetime
+    and by per-call entry points (e.g.
+    :meth:`QueryEngine.scan_query_pipeline`) over just their own records,
+    so a reused frontend never folds earlier traffic into a later report.
+    """
+    completed = [r for r in records if r.completed]
+    return QueueMetrics.from_samples(
+        name,
+        wait_ns=[r.wait_ns for r in completed],
+        sojourn_ns=[r.sojourn_ns for r in completed],
+        offered=len(records),
+        admitted=sum(1 for r in records if r.admitted),
+        rejected=sum(1 for r in records if not r.admitted),
+        completed=len(completed),
+        deadline_misses=sum(1 for r in completed if r.deadline_missed),
+        makespan_ns=makespan_ns,
+        busy_ns=busy_ns,
+        serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
+        energy_j=sum(r.metrics.energy_j for r in completed),
+        batches=batches,
+    )
+
+
+class ServiceFrontend:
+    """Admission-controlled request frontend over the batch pipeline.
+
+    Args:
+        executor: The execution stage (a default one is created on demand).
+        planner: The planning stage (defaults to one over ``executor``
+            with ``policy``).
+        policy: Batch-closing policy for the default planner.
+        max_queue_depth: Admission bound on queued (not yet serving)
+            requests.
+        max_backlog_ns: Admission bound on modeled bank occupancy: the
+            queued requests' sequential latencies divided by the device's
+            parallel banks, plus the candidate's own share.  None disables
+            occupancy-based admission.
+        functional: Execute batches on the simulated banks (subject to the
+            executor's ``verify_fraction``) instead of analytically.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[BatchExecutor] = None,
+        planner: Optional[BatchPlanner] = None,
+        policy: Optional[BatchPolicy] = None,
+        max_queue_depth: int = 64,
+        max_backlog_ns: Optional[float] = None,
+        functional: bool = False,
+    ) -> None:
+        if max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        self.executor = executor or BatchExecutor()
+        self.planner = planner or BatchPlanner(self.executor, policy)
+        self.max_queue_depth = max_queue_depth
+        self.max_backlog_ns = max_backlog_ns
+        self.functional = functional
+        self.clock_ns = 0.0
+        self.records: List[QueuedRequest] = []
+        self.batches: List[BatchResult] = []
+        self.busy_ns = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._backlog_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted and waiting for a batch."""
+        return len(self._heap)
+
+    @property
+    def backlog_ns(self) -> float:
+        """Modeled bank occupancy of the queue (serial latency / banks)."""
+        return self._backlog_ns / self._banks()
+
+    def _banks(self) -> int:
+        return max(1, self.executor.banks_available())
+
+    def offer(
+        self,
+        request: FrontendRequest,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        arrival_ns: Optional[float] = None,
+    ) -> QueuedRequest:
+        """Offer one request; returns its envelope (possibly rejected).
+
+        Admission control runs at the request's arrival time against the
+        current queue; a rejected envelope has ``admitted=False`` and a
+        ``rejected_reason`` and will never be served.
+        """
+        arrival = self.clock_ns if arrival_ns is None else float(arrival_ns)
+        self.clock_ns = max(self.clock_ns, arrival)
+        queued = QueuedRequest(
+            request=request,
+            arrival_ns=arrival,
+            priority=priority,
+            deadline_ns=deadline_ns,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.records.append(queued)
+
+        # Depth check first: a queue-full rejection must not pay for the
+        # latency model (for scans that is a full host-side evaluation).
+        if len(self._heap) >= self.max_queue_depth:
+            queued.admitted = False
+            queued.rejected_reason = "queue_full"
+            return queued
+        queued.modeled_ns = self.planner.modeled_latency_ns(request)
+        if (
+            self.max_backlog_ns is not None
+            and (self._backlog_ns + queued.modeled_ns) / self._banks() > self.max_backlog_ns
+        ):
+            queued.admitted = False
+            queued.rejected_reason = "bank_occupancy"
+            return queued
+        heapq.heappush(self._heap, (queued.sort_key(), queued))
+        self._backlog_ns += queued.modeled_ns
+        return queued
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def _queued(self) -> List[QueuedRequest]:
+        return [q for _, q in self._heap]
+
+    def serve_batch(self) -> Optional[BatchResult]:
+        """Close and execute one batch from the queue (None when empty).
+
+        The batch starts at the current clock; the clock advances by the
+        batch makespan.  Lowered groups report the start of their first
+        primitive and the finish of their last.
+        """
+        if not self._heap:
+            return None
+        size = min(self.planner.policy.max_batch, len(self._heap))
+        closed: List[QueuedRequest] = []
+        for _ in range(size):
+            _, queued = heapq.heappop(self._heap)
+            self._backlog_ns -= queued.modeled_ns
+            closed.append(queued)
+        if not self._heap:
+            self._backlog_ns = 0.0  # absorb float drift at empty queue
+
+        primitives, groups = self.planner.lower_batch(closed)
+        batch = self.executor.run(primitives, functional=self.functional)
+        batch_start = self.clock_ns
+        batch_index = len(self.batches)
+        for group in groups:
+            queued = group.queued
+            queued.batch_index = batch_index
+            if group.indices:
+                results = [batch.results[i] for i in group.indices]
+                queued.start_ns = batch_start + min(r.start_ns for r in results)
+                queued.finish_ns = batch_start + max(
+                    r.start_ns + r.metrics.latency_ns for r in results
+                )
+                queued.metrics = self.planner.group_metrics(group, results)
+                queued.value = group.finalize(results)
+            else:
+                queued.start_ns = batch_start
+                queued.finish_ns = batch_start
+                queued.metrics = group.zero_cost_metrics
+                queued.value = group.finalize([])
+        self.clock_ns = batch_start + batch.metrics.latency_ns
+        self.busy_ns += batch.metrics.latency_ns
+        self.batches.append(batch)
+        return batch
+
+    def drain(self) -> None:
+        """Serve batches until the queue is empty."""
+        while self._heap:
+            self.serve_batch()
+
+    def run(self, events: Iterable[ArrivalEvent], name: str = "frontend") -> PipelineResult:
+        """Serve a whole arrival stream and return the pipeline outcome.
+
+        Drives the virtual clock: requests are admitted at their arrival
+        times, the planner decides when each batch closes (a batch is also
+        forced once the stream has ended), and service occupies the clock
+        for each batch's makespan.
+        """
+        pending = sorted(events, key=lambda e: e.arrival_ns)
+        i = 0
+        while i < len(pending) or self._heap:
+            if not self._heap and i < len(pending):
+                self.clock_ns = max(self.clock_ns, pending[i].arrival_ns)
+            while i < len(pending) and pending[i].arrival_ns <= self.clock_ns:
+                event = pending[i]
+                self.offer(
+                    event.request,
+                    priority=event.priority,
+                    deadline_ns=event.deadline_ns,
+                    arrival_ns=event.arrival_ns,
+                )
+                i += 1
+            if not self._heap:
+                continue
+            if i >= len(pending) or self.planner.should_close(self._queued(), self.clock_ns):
+                self.serve_batch()
+            else:
+                # Sleep until whichever comes first: the next arrival or the
+                # policy's next closing instant (window expiry / the last
+                # moment an urgent deadline can still start on time).
+                wake = min(
+                    pending[i].arrival_ns,
+                    self.planner.next_close_ns(self._queued(), self.clock_ns),
+                )
+                self.clock_ns = max(self.clock_ns, wake)
+        return self.result(name)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def result(self, name: str = "frontend") -> PipelineResult:
+        """Summarize everything served so far into a :class:`PipelineResult`."""
+        metrics = summarize_records(
+            name, self.records, self.clock_ns, self.busy_ns, len(self.batches)
+        )
+        return PipelineResult(records=list(self.records), batches=list(self.batches), metrics=metrics)

@@ -1,0 +1,239 @@
+"""The batch planner: shapes batches and lowers high-level work.
+
+:class:`BatchPlanner` is the second stage of the service pipeline
+(frontend → planner → executor).  It owns two decisions:
+
+* **When a batch closes.**  :meth:`BatchPlanner.should_close` applies the
+  :class:`BatchPolicy`: close when enough requests are queued (size), when
+  the oldest admitted request has waited long enough (time window), or
+  when a queued deadline would be missed unless service starts now
+  (deadline urgency).
+* **What the executor sees.**  :meth:`BatchPlanner.lower_batch` turns the
+  queued envelopes into primitive requests the executor understands.
+  Primitives pass through unchanged; high-level requests are *lowered* —
+  a :class:`~repro.service.requests.BitmapConjunctionRequest` becomes the
+  OR/AND chain of :class:`~repro.service.requests.BulkOpRequest` steps
+  produced by :meth:`BitmapIndex.lower_conjunction`, pinned to one bank
+  offset so the data-dependent chain serializes on its banks.
+
+The executor orders the lowered batch longest-first (LPT) before bank
+assignment; the planner deliberately leaves intra-batch ordering to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.analysis.metrics import OperationMetrics, combine_serial
+from repro.service.executor import BatchExecutor
+from repro.service.requests import (
+    BitmapConjunctionRequest,
+    BulkOpRequest,
+    CopyRequest,
+    FrontendRequest,
+    QueuedRequest,
+    RequestResult,
+    ScanRequest,
+    ServiceRequest,
+)
+
+
+@dataclass
+class BatchPolicy:
+    """When the planner closes the next batch.
+
+    Attributes:
+        max_batch: Close as soon as this many requests are queued (also the
+            hard cap on batch size).
+        window_ns: Close when the oldest queued request has waited this
+            long, even if the batch is not full.  None disables the window
+            (the frontend still closes on stream end).
+        urgency_slack_ns: Close when a queued request's deadline minus its
+            modeled service latency is within this slack of the current
+            time — the last moment service can start without missing it.
+            None disables urgency-driven closing.
+    """
+
+    max_batch: int = 32
+    window_ns: Optional[float] = None
+    urgency_slack_ns: Optional[float] = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+
+
+@dataclass
+class LoweredGroup:
+    """Bookkeeping of one queued request lowered into primitive steps.
+
+    Attributes:
+        queued: The envelope the group came from.
+        indices: Positions of the group's primitives in the lowered batch
+            (empty for a zero-operation request, e.g. a single-bitmap
+            conjunction).
+        finalize: Maps the group's :class:`RequestResult` list to the
+            envelope's result value.
+        zero_cost_metrics: Metrics to attribute when ``indices`` is empty.
+    """
+
+    queued: QueuedRequest
+    indices: List[int]
+    finalize: Callable[[List[RequestResult]], Any]
+    zero_cost_metrics: Optional[OperationMetrics] = None
+
+
+class BatchPlanner:
+    """Shapes batches by policy and lowers high-level requests.
+
+    Args:
+        executor: The executor the plans target (its latency model drives
+            LPT ordering, deadline urgency, and admission backlog).
+        policy: Batch-closing policy (defaults to size-32, urgency on).
+    """
+
+    def __init__(self, executor: BatchExecutor, policy: Optional[BatchPolicy] = None) -> None:
+        self.executor = executor
+        self.policy = policy or BatchPolicy()
+        #: High-level requests lowered across the planner's lifetime.
+        self.lowered_requests = 0
+
+    # ------------------------------------------------------------------
+    # Latency model (includes high-level requests)
+    # ------------------------------------------------------------------
+    def modeled_latency_ns(self, request: FrontendRequest) -> float:
+        """Sequential-execution latency of any frontend request."""
+        if isinstance(request, BitmapConjunctionRequest):
+            return self._conjunction_latency_ns(request)
+        return self.executor.modeled_latency_ns(request)
+
+    def _conjunction_latency_ns(self, request: BitmapConjunctionRequest) -> float:
+        engine = self.executor.engine
+        vector_bytes = (request.index.num_rows + 7) // 8
+        rows = max(1, -(-vector_bytes // engine.device.geometry.row_size_bytes))
+        ops = sum(len(values) - 1 for _, values in request.predicates)
+        ands = len(request.predicates) - 1
+        return (
+            ops * engine.op_cost("or", rows).latency_ns
+            + ands * engine.op_cost("and", rows).latency_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Batch closing
+    # ------------------------------------------------------------------
+    def should_close(self, queued: List[QueuedRequest], now_ns: float) -> bool:
+        """Does the policy call for closing a batch right now?"""
+        if not queued:
+            return False
+        if len(queued) >= self.policy.max_batch:
+            return True
+        if self.policy.window_ns is not None:
+            oldest = min(q.arrival_ns for q in queued)
+            if now_ns - oldest >= self.policy.window_ns:
+                return True
+        if self.policy.urgency_slack_ns is not None:
+            for q in queued:
+                if q.deadline_ns is None:
+                    continue
+                latest_start = q.deadline_ns - q.modeled_ns
+                if latest_start <= now_ns + self.policy.urgency_slack_ns:
+                    return True
+        return False
+
+    def next_close_ns(self, queued: List[QueuedRequest], now_ns: float) -> float:
+        """Earliest future instant the policy will close a batch (inf if
+        only size or stream end can close it).  The frontend's virtual
+        clock wakes here when no arrival comes sooner."""
+        next_close = math.inf
+        if not queued:
+            return next_close
+        if self.policy.window_ns is not None:
+            oldest = min(q.arrival_ns for q in queued)
+            next_close = min(next_close, oldest + self.policy.window_ns)
+        if self.policy.urgency_slack_ns is not None:
+            for q in queued:
+                if q.deadline_ns is None:
+                    continue
+                next_close = min(
+                    next_close,
+                    q.deadline_ns - q.modeled_ns - self.policy.urgency_slack_ns,
+                )
+        return next_close
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def lower_batch(
+        self, batch: List[QueuedRequest]
+    ) -> Tuple[List[ServiceRequest], List[LoweredGroup]]:
+        """Lower a closed batch into primitives plus result bookkeeping."""
+        primitives: List[ServiceRequest] = []
+        groups: List[LoweredGroup] = []
+        for queued in batch:
+            request = queued.request
+            if isinstance(request, BitmapConjunctionRequest):
+                groups.append(self._lower_conjunction(queued, primitives))
+            elif isinstance(request, (BulkOpRequest, ScanRequest, CopyRequest)):
+                primitives.append(request)
+                groups.append(
+                    LoweredGroup(
+                        queued=queued,
+                        indices=[len(primitives) - 1],
+                        finalize=lambda results: results[0].value,
+                    )
+                )
+            else:
+                raise TypeError(f"unknown request type {type(request).__name__}")
+        return primitives, groups
+
+    def _lower_conjunction(
+        self, queued: QueuedRequest, primitives: List[ServiceRequest]
+    ) -> LoweredGroup:
+        request = queued.request
+        index = request.index
+        steps, result_vector, plan = index.lower_conjunction(
+            request.predicates,
+            # The executor charges each step from the vectors' row-chunk
+            # count: lower at the device's row size or the analytical cost
+            # diverges from the plan-level model (and the functional path).
+            row_size_bytes=self.executor.engine.device.geometry.row_size_bytes,
+        )
+        self.lowered_requests += 1
+        offset = self.executor.stable_offset(index)
+        indices: List[int] = []
+        for op, a, b, out in steps:
+            primitives.append(BulkOpRequest(op=op, a=a, b=b, out=out, bank_offset=offset))
+            indices.append(len(primitives) - 1)
+        packed_bytes = (index.num_rows + 7) // 8
+
+        def finalize(results: List[RequestResult]) -> Any:
+            return result_vector.data[:packed_bytes].copy()
+
+        zero_cost = None
+        if not indices:
+            # Single-value single-predicate conjunction: the answer is the
+            # bitmap itself; no bulk operations run and none are charged,
+            # exactly as the plan-level cost model prices it.
+            zero_cost = OperationMetrics(
+                name="bitmap_conjunction",
+                latency_ns=0.0,
+                energy_j=0.0,
+                bytes_produced=packed_bytes,
+                notes=f"{plan.total_operations} bulk ops (identity)",
+            )
+        return LoweredGroup(
+            queued=queued, indices=indices, finalize=finalize, zero_cost_metrics=zero_cost
+        )
+
+    @staticmethod
+    def group_metrics(group: LoweredGroup, results: List[RequestResult]) -> OperationMetrics:
+        """Sequential-execution cost attributed to one lowered group."""
+        if not group.indices:
+            return group.zero_cost_metrics
+        if len(results) == 1:
+            return results[0].metrics
+        combined = combine_serial("bitmap_conjunction", (r.metrics for r in results))
+        combined.notes = f"{len(results)} lowered bulk ops"
+        return combined

@@ -1,23 +1,31 @@
 """Request and result types of the bulk-operation service layer.
 
 A request describes one unit of client work — an Ambit bulk bitwise
-operation, a BitWeaving predicate scan, or a RowClone bulk copy — without
-saying anything about *when* or *where* it runs.  The
-:class:`~repro.service.scheduler.BatchScheduler` collects many requests,
-plans them across banks, and returns one :class:`RequestResult` per request
-plus batch-level aggregate metrics.
+operation, a BitWeaving predicate scan, a RowClone bulk copy, or a
+high-level bitmap-index conjunction — without saying anything about *when*
+or *where* it runs.  The pipeline stages consume these types in order:
+
+* the :class:`~repro.service.frontend.ServiceFrontend` wraps each request
+  in a :class:`QueuedRequest` envelope carrying its arrival time, priority
+  and deadline;
+* the :class:`~repro.service.planner.BatchPlanner` *lowers* high-level
+  requests (:class:`BitmapConjunctionRequest`) into the primitive kinds;
+* the :class:`~repro.service.executor.BatchExecutor` runs primitives and
+  returns one :class:`RequestResult` per request plus batch aggregates.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.ambit.bitvector import BulkBitVector
 from repro.analysis.metrics import BatchMetrics, OperationMetrics
-from repro.database.bitweaving import BitWeavingColumn
+from repro.database.bitmap_index import BitmapIndex
+from repro.database.bitweaving import BitWeavingColumn, ScanPlan
 from repro.rowclone.engine import CopyMode
 
 #: Predicate kinds a ScanRequest understands (dispatched to
@@ -40,6 +48,11 @@ class BulkOpRequest:
     a: BulkBitVector
     b: Optional[BulkBitVector] = None
     out: Optional[BulkBitVector] = None
+    #: Optional bank-placement hint for host-only operands: requests with
+    #: the same hint contend for the same modeled banks (the planner pins
+    #: every lowered step of one conjunction to one hint so data-dependent
+    #: steps never overlap in the schedule).
+    bank_offset: Optional[int] = None
 
 
 @dataclass
@@ -55,6 +68,9 @@ class ScanRequest:
     column: BitWeavingColumn
     kind: str
     constants: tuple
+    _scan_cache: Optional[Tuple[np.ndarray, ScanPlan]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in SCAN_KINDS:
@@ -64,6 +80,13 @@ class ScanRequest:
             raise ValueError(
                 f"{self.kind} takes {expected} constant(s), got {len(self.constants)}"
             )
+
+    def scan_result(self) -> Tuple[np.ndarray, ScanPlan]:
+        """(packed expected bits, plan) — evaluated once and cached so the
+        planner's latency model and the executor share one evaluation."""
+        if self._scan_cache is None:
+            self._scan_cache = self.column.scan(self.kind, *self.constants)
+        return self._scan_cache
 
 
 @dataclass
@@ -81,7 +104,113 @@ class CopyRequest:
     fill: bool = False
 
 
+#: Primitive request kinds the executor runs directly.
 ServiceRequest = Union[BulkOpRequest, ScanRequest, CopyRequest]
+
+
+@dataclass
+class BitmapConjunctionRequest:
+    """One bitmap-index conjunction: ``AND`` of per-column ``IN`` predicates.
+
+    This is a *high-level* request: the executor does not understand it.
+    The :class:`~repro.service.planner.BatchPlanner` lowers it — via
+    :meth:`BitmapIndex.lower_conjunction` — into a chain of primitive
+    :class:`BulkOpRequest` steps (the OR of each predicate's value bitmaps,
+    then the AND across predicates), pinned to one bank-offset hint so the
+    data-dependent chain serializes on its banks.
+
+    Attributes:
+        index: The bitmap index holding the per-value bitmaps.
+        predicates: (column, values) pairs; each contributes an ``IN``.
+    """
+
+    index: BitmapIndex
+    predicates: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ValueError("predicates must not be empty")
+        self.predicates = tuple(
+            (column, tuple(values)) for column, values in self.predicates
+        )
+        for column, values in self.predicates:
+            if not values:
+                raise ValueError(f"predicate on {column!r} has no values")
+
+
+#: Everything the frontend accepts (primitives plus high-level requests).
+FrontendRequest = Union[ServiceRequest, BitmapConjunctionRequest]
+
+
+@dataclass
+class QueuedRequest:
+    """Envelope of one request inside the frontend's admission queue.
+
+    Carries the arrival-side attributes (arrival time, priority, deadline)
+    and, after service, the outcome (start/finish times, value, metrics).
+    Times are absolute nanoseconds on the frontend's virtual clock.
+
+    Attributes:
+        request: The wrapped request (primitive or high-level).
+        arrival_ns: When the request was offered to the frontend.
+        priority: Larger values are served first (default 0).
+        deadline_ns: Absolute completion deadline, or None.
+        seq: Admission sequence number (FIFO tiebreak within a priority).
+        admitted: False when admission control rejected the request.
+        rejected_reason: Why admission control refused it ("" if admitted).
+        batch_index: Which batch served the request (-1 before service).
+        start_ns: When the request started on its banks.
+        finish_ns: When its last bank finished.
+        value: Result payload (see :attr:`RequestResult.value`); for a
+            lowered conjunction, the packed result bitmap.
+        metrics: Sequential-execution cost of the request (for a lowered
+            request, the serial combination of its primitive steps).
+    """
+
+    request: FrontendRequest
+    arrival_ns: float = 0.0
+    priority: int = 0
+    deadline_ns: Optional[float] = None
+    seq: int = 0
+    admitted: bool = True
+    rejected_reason: str = ""
+    #: Modeled sequential service latency (filled at admission; drives the
+    #: planner's deadline urgency and the frontend's backlog accounting).
+    modeled_ns: float = 0.0
+    batch_index: int = -1
+    start_ns: float = math.nan
+    finish_ns: float = math.nan
+    value: Any = None
+    metrics: Optional[OperationMetrics] = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the request has been served."""
+        return self.admitted and not math.isnan(self.finish_ns)
+
+    @property
+    def wait_ns(self) -> float:
+        """Admission to service start (NaN before service)."""
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def sojourn_ns(self) -> float:
+        """Admission to completion (NaN before service)."""
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when the request completed after its deadline."""
+        return (
+            self.deadline_ns is not None
+            and self.completed
+            and self.finish_ns > self.deadline_ns + 1e-9
+        )
+
+    def sort_key(self) -> Tuple[float, float, int]:
+        """Queue order: priority first, then earliest deadline, then FIFO."""
+        deadline = self.deadline_ns if self.deadline_ns is not None else math.inf
+        return (-self.priority, deadline, self.seq)
 
 
 @dataclass

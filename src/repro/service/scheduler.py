@@ -1,71 +1,39 @@
-"""The batched bulk-operation scheduler.
+"""One-shot batching facade over the service pipeline's executor.
 
-:class:`BatchScheduler` accepts many concurrent requests — Ambit bulk
-bitwise operations, BitWeaving predicate scans, RowClone bulk copies —
-plans them across the device's banks, and executes them as one batch.
+:class:`BatchScheduler` is the caller-shaped entry point that predates the
+admission-controlled pipeline: the caller hand-builds a batch with the
+``submit_*`` methods and runs it with :meth:`~BatchScheduler.execute`.  All
+execution machinery lives in :class:`~repro.service.executor.BatchExecutor`
+(the pipeline's third stage); this class only keeps the pending list.
 
-Three planning optimizations make batches cheap without changing what the
-hardware is charged for:
-
-* **Bank-level overlap** — requests whose rows live in disjoint banks
-  proceed concurrently (the DDR command bus has ample headroom for AAP
-  sequences), so the batch finishes in the makespan of a per-bank schedule
-  rather than the sum of request latencies.  This is the *only* way a batch
-  may be faster: per-request latency and total energy are identical to
-  sequential execution, which the property tests pin down.
-* **Operation fusion** — within a batch, the complement of a bit plane is
-  materialized at most once and reused by every step that needs it (the
-  NOT feeding an AND in the BitWeaving recurrence, the shared planes of a
-  ``between``'s two half-scans), and control rows are initialized once per
-  subarray across the whole batch.  Every fused operation is still charged
-  at full cost; fusion only removes redundant simulation work and row
-  traffic.
-* **Allocation reuse** — intermediate vectors come from a small LRU pool
-  (:class:`~repro.service.pool.VectorPool`), so a long request stream
-  recycles a bounded set of DRAM rows instead of bleeding the allocator
-  dry.
-
-Functional execution goes through the engine's vectorized functional path
-(every row chunk of an operation in one NumPy call); results are bit-exact
-with one-at-a-time sequential execution on either path.
+For a service that shapes its own batches — arrival processes, a bounded
+priority queue with admission control, deadlines, and policy-driven batch
+closing — use :class:`~repro.service.frontend.ServiceFrontend`, which
+drives the same executor through the
+:class:`~repro.service.planner.BatchPlanner`.
 """
 
 from __future__ import annotations
 
-import weakref
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import List, Optional
 
 from repro.ambit.bitvector import BulkBitVector
-from repro.ambit.engine import AmbitConfig, AmbitEngine
-from repro.analysis.metrics import BatchMetrics, combine_serial
+from repro.ambit.engine import AmbitEngine
 from repro.database.bitweaving import BitWeavingColumn
 from repro.rowclone.engine import RowCloneEngine
+from repro.service.executor import BatchExecutor
 from repro.service.pool import VectorPool
 from repro.service.requests import (
     BatchResult,
     BulkOpRequest,
     CopyRequest,
-    RequestResult,
     ScanRequest,
     ServiceRequest,
 )
 
 
-@dataclass
-class _BatchContext:
-    """Per-execute() state: plane/complement caches and charged metrics."""
-
-    functional: bool
-    plane_vectors: Dict[Tuple[int, int, int], BulkBitVector] = field(default_factory=dict)
-    not_vectors: Dict[Tuple[int, int, int], BulkBitVector] = field(default_factory=dict)
-    fused_ops: int = 0
-
-
 class BatchScheduler:
-    """Plans and executes batches of bulk in-DRAM operations.
+    """Collects a batch of bulk in-DRAM requests and executes it.
 
     Args:
         engine: Ambit engine to execute on.  When omitted, an engine with
@@ -73,9 +41,12 @@ class BatchScheduler:
         rowclone: RowClone engine for copy requests (created on the same
             device when omitted).
         pool_capacity: Size of the LRU pool of intermediate row allocations.
-        fuse: Enable operation fusion (shared plane complements).  Fusion
-            never changes results or charged costs; disabling it is only
-            useful for A/B testing the planner.
+        fuse: Enable operation fusion (shared plane complements).
+        lpt: Order requests longest-first before bank assignment (LPT);
+            see :class:`~repro.service.executor.BatchExecutor`.
+        verify_fraction: Fraction of a functional batch executed (and
+            verified) on the simulated banks; the rest run analytically.
+        verify_seed: Seed of the deterministic verification sampler.
     """
 
     def __init__(
@@ -84,21 +55,42 @@ class BatchScheduler:
         rowclone: Optional[RowCloneEngine] = None,
         pool_capacity: int = 16,
         fuse: bool = True,
+        lpt: bool = True,
+        verify_fraction: float = 1.0,
+        verify_seed: int = 0,
     ) -> None:
-        self.engine = engine or AmbitEngine(config=AmbitConfig(vectorized_functional=True))
-        self.rowclone = rowclone or RowCloneEngine(
-            self.engine.device, banks_parallel=self.engine.config.banks_parallel
+        self.executor = BatchExecutor(
+            engine=engine,
+            rowclone=rowclone,
+            pool_capacity=pool_capacity,
+            fuse=fuse,
+            lpt=lpt,
+            verify_fraction=verify_fraction,
+            verify_seed=verify_seed,
         )
-        self.pool = VectorPool(self.engine, capacity=pool_capacity)
-        self.fuse = fuse
         self._pending: List[ServiceRequest] = []
-        # Weakly keyed: a dead column must not pin its offset (or leak an
-        # entry) — id() reuse would hand stale offsets to new columns.
-        self._column_offsets: "weakref.WeakKeyDictionary[BitWeavingColumn, int]" = (
-            weakref.WeakKeyDictionary()
-        )
-        self._next_offset = 0
-        self._bank_keys = [key for key, _ in self.engine.device.iter_banks()]
+
+    # Execution state lives in the executor; expose it for callers that
+    # predate the pipeline split.
+    @property
+    def engine(self) -> AmbitEngine:
+        """The executor's Ambit engine."""
+        return self.executor.engine
+
+    @property
+    def rowclone(self) -> RowCloneEngine:
+        """The executor's RowClone engine."""
+        return self.executor.rowclone
+
+    @property
+    def pool(self) -> VectorPool:
+        """The executor's LRU pool of intermediate vectors."""
+        return self.executor.pool
+
+    @property
+    def fuse(self) -> bool:
+        """Whether operation fusion is enabled."""
+        return self.executor.fuse
 
     # ------------------------------------------------------------------
     # Submission
@@ -146,280 +138,8 @@ class BatchScheduler:
             functional: Execute on the simulated banks (bit-exact row data
                 in DRAM) instead of the analytical path.  Results are
                 identical either way; the functional path additionally
-                verifies them against the banks' contents.
+                verifies them against the banks' contents (subject to the
+                ``verify_fraction`` sampling knob).
         """
         requests, self._pending = self._pending, []
-        context = _BatchContext(functional=functional)
-        results: List[RequestResult] = []
-        for request in requests:
-            if isinstance(request, BulkOpRequest):
-                results.append(self._run_bulk_op(request, functional))
-            elif isinstance(request, ScanRequest):
-                results.append(self._run_scan(request, context))
-            else:
-                results.append(self._run_copy(request))
-        self._release_context(context)
-
-        makespan = self._schedule(results)
-        serial = combine_serial("batch_serial", (r.metrics for r in results))
-        metrics = BatchMetrics(
-            name="service_batch",
-            requests=len(results),
-            latency_ns=makespan,
-            serial_latency_ns=serial.latency_ns,
-            energy_j=serial.energy_j,
-            bytes_produced=serial.bytes_produced,
-            per_request=[r.metrics for r in results],
-            notes=f"{context.fused_ops} fused ops" if context.fused_ops else "",
-        )
-        return BatchResult(results=results, metrics=metrics)
-
-    # ------------------------------------------------------------------
-    # Per-request execution
-    # ------------------------------------------------------------------
-    def _run_bulk_op(self, request: BulkOpRequest, functional: bool) -> RequestResult:
-        out, metrics = self.engine.execute(
-            request.op, request.a, request.b, out=request.out, functional=functional
-        )
-        bank_ids = self._request_banks(request.a, request.a.num_rows)
-        return RequestResult(request=request, metrics=metrics, value=out, bank_ids=bank_ids)
-
-    def _run_copy(self, request: CopyRequest) -> RequestResult:
-        if request.fill:
-            metrics = self.rowclone.bulk_fill(request.num_bytes)
-        else:
-            metrics = self.rowclone.bulk_copy(request.num_bytes, request.mode)
-        rows = max(1, -(-request.num_bytes // self.engine.device.geometry.row_size_bytes))
-        bank_ids = self._modeled_banks(rows, self._rotate_offset(rows))
-        return RequestResult(request=request, metrics=metrics, value=None, bank_ids=bank_ids)
-
-    def _run_scan(self, request: ScanRequest, context: _BatchContext) -> RequestResult:
-        column = request.column
-        expected, plan = column.scan(request.kind, *request.constants)
-        rows = max(
-            1, -(-len(expected) // self.engine.device.geometry.row_size_bytes)
-        )
-        per_op = [
-            self.engine.op_cost(op, rows, (column.num_rows + 7) // 8)
-            for op in plan.sequence
-        ]
-        metrics = combine_serial(f"ambit_scan_{request.kind}", per_op)
-        metrics.bytes_produced = len(expected)
-        metrics.notes = f"{plan.total_operations} bulk ops over {plan.planes_touched} planes"
-
-        if context.functional:
-            produced = self._functional_scan(request, context)
-            if not np.array_equal(produced, expected):
-                raise AssertionError(
-                    f"functional {request.kind} scan diverged from the analytical result"
-                )
-            value = produced
-        else:
-            value = expected
-        bank_ids = self._modeled_banks(rows, self._column_offset(column))
-        return RequestResult(request=request, metrics=metrics, value=value, bank_ids=bank_ids)
-
-    # ------------------------------------------------------------------
-    # Functional BitWeaving execution (fused)
-    # ------------------------------------------------------------------
-    def _functional_scan(self, request: ScanRequest, context: _BatchContext) -> np.ndarray:
-        column = request.column
-        offset = self._column_offset(column)
-        if request.kind == "equal":
-            result = self._functional_equal(column, request.constants[0], context, offset)
-        elif request.kind == "between":
-            low, high = request.constants
-            below_low = self._functional_compare(column, low, False, context, offset)
-            at_most_high = self._functional_compare(column, high, True, context, offset)
-            not_low = self._vec_op(context, "not", below_low, None, offset)
-            self._release(below_low, offset)
-            result = self._vec_op(context, "and", at_most_high, not_low, offset)
-            self._release(at_most_high, offset)
-            self._release(not_low, offset)
-        else:
-            include_equal = request.kind == "less_equal"
-            result = self._functional_compare(
-                column, request.constants[0], include_equal, context, offset
-            )
-        packed = result.data[: (column.num_rows + 7) // 8].copy()
-        self._release(result, offset)
-        return packed
-
-    def _functional_compare(
-        self,
-        column: BitWeavingColumn,
-        constant: int,
-        include_equal: bool,
-        context: _BatchContext,
-        offset: int,
-    ) -> BulkBitVector:
-        lt = self._acquire(column.num_rows, offset).fill_value(0)
-        eq = self._acquire(column.num_rows, offset).fill_value(1)
-        for bit in reversed(range(column.num_bits)):
-            if (constant >> bit) & 1:
-                plane = self._plane_vector(column, bit, context, offset)
-                not_plane = self._not_plane(column, bit, context, offset)
-                partial = self._vec_op(context, "and", eq, not_plane, offset)
-                self._done_with_not(not_plane, offset)
-                lt_next = self._vec_op(context, "or", lt, partial, offset)
-                self._release(lt, offset)
-                self._release(partial, offset)
-                lt = lt_next
-                eq_next = self._vec_op(context, "and", eq, plane, offset)
-                self._release(eq, offset)
-                eq = eq_next
-            else:
-                not_plane = self._not_plane(column, bit, context, offset)
-                eq_next = self._vec_op(context, "and", eq, not_plane, offset)
-                self._done_with_not(not_plane, offset)
-                self._release(eq, offset)
-                eq = eq_next
-        if include_equal:
-            result = self._vec_op(context, "or", lt, eq, offset)
-            self._release(lt, offset)
-            self._release(eq, offset)
-            return result
-        self._release(eq, offset)
-        return lt
-
-    def _functional_equal(
-        self, column: BitWeavingColumn, constant: int, context: _BatchContext, offset: int
-    ) -> BulkBitVector:
-        eq = self._acquire(column.num_rows, offset).fill_value(1)
-        for bit in reversed(range(column.num_bits)):
-            complemented = not (constant >> bit) & 1
-            if complemented:
-                operand = self._not_plane(column, bit, context, offset)
-            else:
-                operand = self._plane_vector(column, bit, context, offset)
-            eq_next = self._vec_op(context, "and", eq, operand, offset)
-            if complemented:
-                self._done_with_not(operand, offset)
-            self._release(eq, offset)
-            eq = eq_next
-        return eq
-
-    def _vec_op(
-        self,
-        context: _BatchContext,
-        op: str,
-        a: BulkBitVector,
-        b: Optional[BulkBitVector],
-        offset: int,
-    ) -> BulkBitVector:
-        out = self._acquire(a.num_bits, offset)
-        _, _metrics = self.engine.execute(op, a, b, out=out, functional=True)
-        return out
-
-    def _plane_vector(
-        self, column: BitWeavingColumn, bit: int, context: _BatchContext, offset: int
-    ) -> BulkBitVector:
-        key = (id(column), bit, offset)
-        vector = context.plane_vectors.get(key)
-        if vector is None:
-            vector = self._acquire(column.num_rows, offset)
-            plane = column.planes[bit]
-            vector.data[:] = 0
-            vector.data[: plane.size] = plane
-            context.plane_vectors[key] = vector
-        return vector
-
-    def _not_plane(
-        self, column: BitWeavingColumn, bit: int, context: _BatchContext, offset: int
-    ) -> BulkBitVector:
-        """The complement of a bit plane, materialized at most once per batch.
-
-        The first use executes a real NOT on the engine; later uses reuse
-        the cached complement row data (a fused NOT).  The *caller* charges
-        every NOT at full cost through the scan plan regardless, so fusion
-        never changes attributed latency or energy.
-        """
-        key = (id(column), bit, offset)
-        vector = context.not_vectors.get(key) if self.fuse else None
-        if vector is None:
-            plane = self._plane_vector(column, bit, context, offset)
-            vector = self._vec_op(context, "not", plane, None, offset)
-            if self.fuse:
-                context.not_vectors[key] = vector
-        else:
-            context.fused_ops += 1
-        return vector
-
-    def _done_with_not(self, vector: BulkBitVector, offset: int) -> None:
-        """Release an unfused complement right after its single use.
-
-        Fused complements stay cached in the batch context for reuse and
-        are released when the batch completes.
-        """
-        if not self.fuse:
-            self._release(vector, offset)
-
-    def _release_context(self, context: _BatchContext) -> None:
-        for key, vector in context.plane_vectors.items():
-            self.pool.release(vector, bank_offset=key[2])
-        for key, vector in context.not_vectors.items():
-            self.pool.release(vector, bank_offset=key[2])
-        context.plane_vectors.clear()
-        context.not_vectors.clear()
-
-    def _acquire(self, num_bits: int, offset: int) -> BulkBitVector:
-        return self.pool.acquire(num_bits, bank_offset=offset)
-
-    def _release(self, vector: BulkBitVector, offset: int) -> None:
-        self.pool.release(vector, bank_offset=offset)
-
-    # ------------------------------------------------------------------
-    # Bank assignment and makespan scheduling
-    # ------------------------------------------------------------------
-    def _column_offset(self, column: BitWeavingColumn) -> int:
-        """Stable bank offset per column: a column's planes live in fixed
-        banks, so every scan of it contends for the same banks."""
-        offset = self._column_offsets.get(column)
-        if offset is None:
-            offset = self._next_offset
-            self._next_offset = (self._next_offset + 1) % self._banks_available()
-            self._column_offsets[column] = offset
-        return offset
-
-    def _rotate_offset(self, rows: int) -> int:
-        offset = self._next_offset
-        self._next_offset = (self._next_offset + max(1, rows)) % self._banks_available()
-        return offset
-
-    def _banks_available(self) -> int:
-        return min(self.engine.config.banks_parallel, self.engine.allocator.banks_total)
-
-    def _modeled_banks(self, rows: int, offset: int) -> List:
-        """Bank keys a request of ``rows`` chunks occupies from ``offset``.
-
-        Uses the same id space as real placements (the device's bank keys)
-        so modeled and placed requests contend for the same banks.
-        """
-        available = self._banks_available()
-        return [self._bank_keys[(offset + i) % available] for i in range(min(rows, available))]
-
-    def _request_banks(self, vector: BulkBitVector, rows: int) -> List:
-        if vector.allocation is not None and vector.allocation.placements:
-            return sorted({p.bank_key for p in vector.allocation.placements})
-        return self._modeled_banks(rows, self._rotate_offset(rows))
-
-    def _schedule(self, results: List[RequestResult]) -> float:
-        """Greedy per-bank list schedule; returns the batch makespan.
-
-        Each request occupies its banks for its full sequential latency; a
-        request starts once all of its banks are free.  Requests on
-        disjoint banks therefore overlap completely, while requests
-        contending for a bank serialize — exactly the paper's bank-level
-        parallelism and nothing more.
-        """
-        load: Dict = {}
-        makespan = 0.0
-        for result in results:
-            banks = result.bank_ids or [0]
-            start = max(load.get(bank, 0.0) for bank in banks)
-            result.start_ns = start
-            finish = start + result.metrics.latency_ns
-            for bank in banks:
-                load[bank] = finish
-            makespan = max(makespan, finish)
-        return makespan
+        return self.executor.run(requests, functional=functional)

@@ -245,6 +245,64 @@ class TestBatchedBulkOps:
         assert batch.metrics.latency_ns == pytest.approx(batch.metrics.serial_latency_ns)
 
 
+class TestLptScheduling:
+    """LPT makespan fix: requests are placed longest-first onto their banks."""
+
+    @staticmethod
+    def _lpt_instance(scheduler):
+        """Two short single-bank ops followed by a long two-bank op.
+
+        Submission order forces the two-bank NOT between the two XORs: it
+        waits for bank 0, then blocks bank 1, so the second XOR queues
+        behind it.  LPT places the two XORs (the long jobs) first, letting
+        them run concurrently with the NOT packed after — a strictly
+        smaller makespan.
+        """
+        row_bits = 8192 * 8  # one row chunk at the host-side default row size
+        a1 = BulkBitVector(row_bits).fill_random(seed=1)
+        b1 = BulkBitVector(row_bits).fill_random(seed=2)
+        a2 = BulkBitVector(row_bits).fill_random(seed=3)
+        b2 = BulkBitVector(row_bits).fill_random(seed=4)
+        wide = BulkBitVector(2 * row_bits).fill_random(seed=5)
+        from repro.service import BulkOpRequest
+
+        scheduler.submit(BulkOpRequest(op="xor", a=a1, b=b1, bank_offset=0))
+        scheduler.submit(BulkOpRequest(op="not", a=wide, bank_offset=0))
+        scheduler.submit(BulkOpRequest(op="xor", a=a2, b=b2, bank_offset=1))
+
+    def test_lpt_makespan_not_worse_than_submission_order(self):
+        batches = {}
+        for lpt in (False, True):
+            scheduler = BatchScheduler(engine=_engine(banks=2), lpt=lpt)
+            self._lpt_instance(scheduler)
+            batches[lpt] = scheduler.execute()
+        greedy, lpt = batches[False], batches[True]
+        assert lpt.metrics.latency_ns < greedy.metrics.latency_ns
+        # Ordering moves start times only: results and charged costs are
+        # bit-exact between the two schedules.
+        for a, b in zip(lpt.results, greedy.results):
+            assert np.array_equal(a.value.data, b.value.data)
+            assert a.metrics.latency_ns == pytest.approx(b.metrics.latency_ns)
+            assert a.metrics.energy_j == pytest.approx(b.metrics.energy_j)
+        assert lpt.metrics.energy_j == pytest.approx(greedy.metrics.energy_j)
+        assert lpt.metrics.serial_latency_ns == pytest.approx(
+            greedy.metrics.serial_latency_ns
+        )
+
+    def test_lpt_is_the_default_and_respects_bounds(self):
+        rng = np.random.default_rng(21)
+        scheduler = BatchScheduler(engine=_engine(banks=4))
+        assert scheduler.executor.lpt
+        columns = [_random_column(rng, 6, 200) for _ in range(4)]
+        for column in columns:
+            scheduler.submit_scan(column, "less_than", 30)
+            scheduler.submit_scan(column, "between", 5, 50)
+        batch = scheduler.execute()
+        longest = max(r.metrics.latency_ns for r in batch.results)
+        assert batch.metrics.latency_ns >= longest * (1 - 1e-9)
+        assert batch.metrics.latency_ns <= batch.metrics.serial_latency_ns * (1 + 1e-9)
+
+
 class TestEngineVectorizedFunctional:
     @pytest.mark.parametrize("op", ["not", "and", "or", "nand", "nor", "xor", "xnor"])
     def test_vectorized_matches_row_level_path(self, op):
