@@ -12,6 +12,8 @@ Gómez-Luna, Ausavarungnirun; DAC 2019).  It provides:
   and a graph-processing framework (:mod:`repro.graph`),
 * the Google consumer-workload PIM analysis (:mod:`repro.consumer`),
 * a bitmap-index / BitWeaving database substrate (:mod:`repro.database`),
+* an admission-controlled request-service pipeline (:mod:`repro.service`),
+* a sharded multi-device cluster tier over it (:mod:`repro.cluster`),
 * host-processor and GPU baselines (:mod:`repro.hostsim`), and
 * a user-facing composition layer (:mod:`repro.core`).
 

@@ -6,7 +6,10 @@ column (speedup, energy reduction) and a geometric-mean summary row.
 """
 
 from repro.analysis.metrics import (
+    BatchMetrics,
+    ClusterMetrics,
     OperationMetrics,
+    QueueMetrics,
     arithmetic_mean,
     geometric_mean,
     ratio,
@@ -15,7 +18,10 @@ from repro.analysis.metrics import (
 from repro.analysis.tables import ResultTable
 
 __all__ = [
+    "BatchMetrics",
+    "ClusterMetrics",
     "OperationMetrics",
+    "QueueMetrics",
     "ResultTable",
     "arithmetic_mean",
     "geometric_mean",

@@ -132,7 +132,9 @@ class QueueMetrics:
         name: Label of the run.
         offered: Requests presented to the frontend.
         admitted: Requests accepted into the queue.
-        rejected: Requests refused by admission control.
+        rejected: Requests refused by admission control (including shed).
+        shed: Admitted requests later evicted by priority-class load
+            shedding (a subset of ``rejected``).
         completed: Requests that finished service.
         deadline_misses: Completed requests that finished past their deadline.
         wait_p50_ns / wait_p99_ns: Wait-time percentiles.
@@ -152,6 +154,7 @@ class QueueMetrics:
     offered: int = 0
     admitted: int = 0
     rejected: int = 0
+    shed: int = 0
     completed: int = 0
     deadline_misses: int = 0
     wait_p50_ns: float = 0.0
@@ -203,6 +206,133 @@ class QueueMetrics:
             sojourn_p50_ns=percentile(sojourns, 50) or 0.0,
             sojourn_p99_ns=percentile(sojourns, 99) or 0.0,
             **counts,
+        )
+
+
+@dataclass
+class ClusterMetrics:
+    """Roll-up of serving a request stream across a sharded cluster.
+
+    Aggregates the cluster frontend's scatter-gather records (one per
+    *cluster-level* request, however many shards it fanned out to) with
+    each shard frontend's own :class:`QueueMetrics`.  Counts are
+    cluster-level: a conjunction scattered over three shards is one
+    offered/completed request here, while each shard's ``per_shard`` entry
+    counts its local sub-request.
+
+    Attributes:
+        name: Label of the run.
+        shards: Number of shard executors in the cluster.
+        offered / admitted / rejected / shed / completed / deadline_misses:
+            Cluster-level request counts (see :class:`QueueMetrics`).
+        wait_p50_ns / wait_p99_ns: Wait percentiles over completed cluster
+            requests (first sub-request start minus arrival).
+        sojourn_p50_ns / sojourn_p99_ns: Sojourn percentiles (last
+            sub-request finish minus arrival, merge included).
+        makespan_ns: Virtual-clock end of the slowest shard.
+        busy_ns: Summed shard service time.
+        serial_latency_ns: Latency of the completed requests' device work
+            executed one at a time (the no-overlap, no-sharding baseline).
+        energy_j: Total device energy of the completed requests.
+        utilization: Per-shard busy time over the cluster makespan.
+        imbalance: Hottest shard's busy time over the mean shard busy time
+            (1.0 = perfectly balanced).
+        cross_shard_fanout: Mean number of shards a completed request
+            touched (1.0 = no scatter).
+        merge_ops: Host-side bitwise merges the gather stage performed.
+        per_shard: Each shard frontend's own queueing summary.
+    """
+
+    name: str
+    shards: int = 0
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    completed: int = 0
+    deadline_misses: int = 0
+    wait_p50_ns: float = 0.0
+    wait_p99_ns: float = 0.0
+    sojourn_p50_ns: float = 0.0
+    sojourn_p99_ns: float = 0.0
+    makespan_ns: float = 0.0
+    busy_ns: float = 0.0
+    serial_latency_ns: float = 0.0
+    energy_j: float = 0.0
+    utilization: List[float] = field(default_factory=list)
+    imbalance: float = 1.0
+    cross_shard_fanout: float = 0.0
+    merge_ops: int = 0
+    per_shard: List[QueueMetrics] = field(default_factory=list)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered cluster requests refused (or shed)."""
+        if self.offered <= 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed cluster requests past their deadline."""
+        if self.completed <= 0:
+            return 0.0
+        return self.deadline_misses / self.completed
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean per-shard utilization over the cluster makespan."""
+        if not self.utilization:
+            return 0.0
+        return sum(self.utilization) / len(self.utilization)
+
+    @classmethod
+    def from_records(
+        cls,
+        name: str,
+        records: Iterable,
+        per_shard: List[QueueMetrics],
+        merge_ops: int = 0,
+    ) -> "ClusterMetrics":
+        """Build the roll-up from cluster records plus per-shard summaries.
+
+        ``records`` are duck-typed cluster envelopes (the cluster package
+        defines them; metrics stays import-free of it): each carries
+        ``admitted``, ``rejected_reason``, ``completed``, ``wait_ns``,
+        ``sojourn_ns``, ``deadline_missed``, ``shard_ids``, and
+        ``metrics``.
+        """
+        records = list(records)
+        completed = [r for r in records if r.completed]
+        makespan = max((m.makespan_ns for m in per_shard), default=0.0)
+        busy = [m.busy_ns for m in per_shard]
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        return cls(
+            name=name,
+            shards=len(per_shard),
+            offered=len(records),
+            admitted=sum(1 for r in records if r.admitted),
+            rejected=sum(1 for r in records if not r.admitted),
+            shed=sum(1 for r in records if r.rejected_reason == "shed"),
+            completed=len(completed),
+            deadline_misses=sum(1 for r in completed if r.deadline_missed),
+            wait_p50_ns=percentile([r.wait_ns for r in completed], 50) or 0.0,
+            wait_p99_ns=percentile([r.wait_ns for r in completed], 99) or 0.0,
+            sojourn_p50_ns=percentile([r.sojourn_ns for r in completed], 50) or 0.0,
+            sojourn_p99_ns=percentile([r.sojourn_ns for r in completed], 99) or 0.0,
+            makespan_ns=makespan,
+            busy_ns=sum(busy),
+            serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
+            energy_j=sum(r.metrics.energy_j for r in completed),
+            utilization=[b / makespan if makespan > 0 else 0.0 for b in busy],
+            imbalance=max(busy) / mean_busy if mean_busy > 0 else 1.0,
+            cross_shard_fanout=(
+                sum(len(r.shard_ids) for r in completed) / len(completed)
+                if completed
+                else 0.0
+            ),
+            merge_ops=merge_ops,
+            per_shard=list(per_shard),
         )
 
 

@@ -1,0 +1,30 @@
+"""The sharded multi-device cluster tier.
+
+One :class:`~repro.service.frontend.ServiceFrontend` saturates one
+device's banks and then queues; the cluster tier scales the service
+pipeline *across* devices, the same way the paper scales bulk bitwise
+throughput across banks:
+
+* :class:`ShardRouter` — partitions table columns and bitmap planes
+  across N shard executors by hash or range, with a replication factor
+  for hot columns (space-for-bandwidth: replicated reads route to the
+  least-loaded replica);
+* :class:`ClusterFrontend` — one admission-controlled
+  :class:`~repro.service.frontend.ServiceFrontend` per shard, a
+  per-shard backlog vector for load-aware routing, and scatter-gather of
+  cross-shard work (per-shard partial bitmaps merged host-side,
+  bit-exact with single-device execution);
+* :class:`~repro.analysis.metrics.ClusterMetrics` — the roll-up:
+  per-shard utilization, imbalance factor, cross-shard fan-out, and
+  aggregate latency percentiles.
+"""
+
+from repro.cluster.frontend import ClusterFrontend, ClusterRecord, ClusterResult
+from repro.cluster.router import ShardRouter
+
+__all__ = [
+    "ClusterFrontend",
+    "ClusterRecord",
+    "ClusterResult",
+    "ShardRouter",
+]

@@ -1,0 +1,417 @@
+"""The scatter-gather cluster frontend over N shard executors.
+
+:class:`ClusterFrontend` turns the single-device service pipeline
+(frontend → planner → executor) into a multi-shard cluster: one
+:class:`~repro.service.frontend.ServiceFrontend` — with its own
+:class:`~repro.service.executor.BatchExecutor` over its own
+:class:`~repro.ambit.engine.AmbitEngine`-backed device — per shard, an
+admission story inherited wholesale from the per-shard frontends, and a
+router (:class:`~repro.cluster.router.ShardRouter`) deciding where data
+lives.
+
+**Routing.**  A predicate scan has column affinity: it goes to the shard
+holding its column's planes — or, for a replicated hot column, to the
+*least-loaded* replica, measured by the per-shard backlog vector
+(:meth:`shard_load`: remaining in-service time plus the shard's queued
+hottest-bank backlog).  Work with no affinity (bulk ops over host
+vectors, copies) goes wherever the backlog is smallest, which is what
+rebalances the cluster under skew.
+
+**Scatter-gather.**  A :class:`~repro.service.requests
+.BitmapConjunctionRequest` whose predicate columns live on different
+shards is *scattered*: each shard gets a sub-conjunction over its own
+:class:`~repro.database.sharding.BitmapIndexShardView` (lowered and
+executed entirely shard-locally), and the gather path merges the partial
+bitmaps host-side with bitwise ANDs — bit-exact with single-device
+evaluation, because every predicate is applied exactly once.  Scatter
+admission is all-or-nothing: if any shard refuses its part, the siblings
+are withdrawn (:meth:`ServiceFrontend.cancel`) and the cluster record is
+rejected.
+
+**Virtual time.**  Every shard runs its own virtual clock; the cluster
+drives them together: arrivals are processed in global order, each shard
+serves whatever batches its policy closes before the next arrival, and
+routing decisions read the shard loads *at the arrival instant*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ambit.engine import AmbitConfig, AmbitEngine
+from repro.analysis.metrics import ClusterMetrics, OperationMetrics, combine_serial
+from repro.cluster.router import ShardRouter
+from repro.database.bitmap_index import BitmapIndex
+from repro.database.sharding import BitmapIndexShardView
+from repro.service.executor import BatchExecutor
+from repro.service.frontend import ArrivalEvent, PipelineResult, ServiceFrontend
+from repro.service.planner import BatchPolicy
+from repro.service.requests import (
+    BitmapConjunctionRequest,
+    FrontendRequest,
+    QueuedRequest,
+    ScanRequest,
+)
+
+
+@dataclass
+class ClusterRecord:
+    """Envelope of one cluster-level request across its shard parts.
+
+    A request that scatters over G shards has G ``parts`` (one per-shard
+    :class:`~repro.service.requests.QueuedRequest`); a routed scan has
+    one.  Times are absolute nanoseconds on the cluster's virtual clock.
+
+    Attributes:
+        request: The cluster-level request as the client offered it.
+        arrival_ns: When the request reached the cluster frontend.
+        priority: Larger values are served first (propagated to parts).
+        deadline_ns: Absolute completion deadline, or None.
+        seq: Cluster admission sequence number.
+        shard_ids: Shards the request was routed/scattered to.
+        parts: Per-shard sub-request envelopes, aligned with shard_ids.
+        admitted: False when any shard refused its part.
+        rejected_reason: Why admission refused it ("" if admitted).
+        value: Gathered result (merged partial bitmaps for a scattered
+            conjunction; the part's own value otherwise).
+        metrics: Serial device cost across the parts (host-side merge ANDs
+            are *not* device work and are tallied in
+            :attr:`ClusterMetrics.merge_ops` instead).
+        start_ns / finish_ns: First part's service start / last part's
+            finish (NaN before service).
+    """
+
+    request: FrontendRequest
+    arrival_ns: float = 0.0
+    priority: int = 0
+    deadline_ns: Optional[float] = None
+    seq: int = 0
+    shard_ids: List[int] = field(default_factory=list)
+    parts: List[QueuedRequest] = field(default_factory=list)
+    admitted: bool = True
+    rejected_reason: str = ""
+    value: Any = None
+    metrics: Optional[OperationMetrics] = None
+    start_ns: float = math.nan
+    finish_ns: float = math.nan
+
+    @property
+    def completed(self) -> bool:
+        """True once every part has been served (and none was shed)."""
+        return self.admitted and bool(self.parts) and all(p.completed for p in self.parts)
+
+    @property
+    def fanout(self) -> int:
+        """Shards this request touched."""
+        return len(self.shard_ids)
+
+    @property
+    def wait_ns(self) -> float:
+        """Arrival to first part's service start (NaN before service)."""
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def sojourn_ns(self) -> float:
+        """Arrival to last part's finish (NaN before service)."""
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when the gathered result completed after the deadline."""
+        return (
+            self.deadline_ns is not None
+            and self.completed
+            and self.finish_ns > self.deadline_ns + 1e-9
+        )
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of serving a request stream through the cluster.
+
+    Attributes:
+        records: Every offered cluster request's envelope, in offer order.
+        per_shard: Each shard frontend's own pipeline result.
+        metrics: The cluster roll-up (utilization, imbalance, fan-out,
+            aggregate percentiles).
+    """
+
+    records: List[ClusterRecord] = field(default_factory=list)
+    per_shard: List[PipelineResult] = field(default_factory=list)
+    metrics: Optional[ClusterMetrics] = None
+
+    def completed(self) -> List[ClusterRecord]:
+        """Envelopes that finished service, in offer order."""
+        return [r for r in self.records if r.completed]
+
+    def rejected(self) -> List[ClusterRecord]:
+        """Envelopes refused by admission control, in offer order."""
+        return [r for r in self.records if not r.admitted]
+
+
+def _default_engine_factory() -> AmbitEngine:
+    return AmbitEngine(config=AmbitConfig(vectorized_functional=True))
+
+
+class ClusterFrontend:
+    """Routes, scatters, and gathers requests over N shard executors.
+
+    Args:
+        num_shards: Shard executors to build (ignored when ``shards`` is
+            given).
+        router: Placement/routing policy (defaults to a hash router with
+            no replication over ``num_shards`` shards).
+        engine_factory: Builds one engine **per shard** — each shard is
+            its own device; sharing an engine would share banks and void
+            the scaling story.
+        policy: Batch-closing policy applied to every shard's planner.
+        max_queue_depth / max_backlog_ns / shed_low_priority: Per-shard
+            admission knobs (see :class:`ServiceFrontend`).
+        functional: Execute shard batches on the simulated banks.
+        shards: Pre-built shard frontends (overrides the factory path).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        router: Optional[ShardRouter] = None,
+        engine_factory: Optional[Callable[[], AmbitEngine]] = None,
+        policy: Optional[BatchPolicy] = None,
+        max_queue_depth: int = 64,
+        max_backlog_ns: Optional[float] = None,
+        functional: bool = False,
+        shed_low_priority: bool = False,
+        shards: Optional[List[ServiceFrontend]] = None,
+    ) -> None:
+        if shards is not None:
+            if not shards:
+                raise ValueError("shards must not be empty")
+            self.shards = list(shards)
+        else:
+            if num_shards < 1:
+                raise ValueError("num_shards must be at least 1")
+            factory = engine_factory or _default_engine_factory
+            self.shards = [
+                ServiceFrontend(
+                    executor=BatchExecutor(engine=factory()),
+                    policy=policy,
+                    max_queue_depth=max_queue_depth,
+                    max_backlog_ns=max_backlog_ns,
+                    functional=functional,
+                    shed_low_priority=shed_low_priority,
+                )
+                for _ in range(num_shards)
+            ]
+        self.router = router or ShardRouter(len(self.shards))
+        if self.router.num_shards != len(self.shards):
+            raise ValueError("router shard count must match the cluster's")
+        self.records: List[ClusterRecord] = []
+        self.clock_ns = 0.0
+        self._seq = 0
+        # Shard views per index, pinned by the index object itself (id()
+        # reuse must not hand one index's placement to another).
+        self._index_views: Dict[int, Tuple[BitmapIndex, Dict[int, BitmapIndexShardView]]] = {}
+
+    # ------------------------------------------------------------------
+    # Load and placement
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_load(self, shard_id: int, at_ns: Optional[float] = None) -> float:
+        """Backlog of one shard at an instant: remaining in-service time
+        (the shard's clock past ``at_ns`` while a batch occupies it) plus
+        its queued hottest-bank backlog."""
+        at = self.clock_ns if at_ns is None else at_ns
+        shard = self.shards[shard_id]
+        return max(0.0, shard.clock_ns - at) + shard.backlog_ns
+
+    def backlog_vector(self, at_ns: Optional[float] = None) -> List[float]:
+        """Per-shard backlog (the routing signal), shard order."""
+        return [self.shard_load(i, at_ns) for i in range(self.num_shards)]
+
+    def _views_for(self, index: BitmapIndex) -> Dict[int, BitmapIndexShardView]:
+        entry = self._index_views.get(id(index))
+        if entry is not None and entry[0] is index:
+            return entry[1]
+        placed = self.router.partition(index.indexed_columns())
+        views = {
+            shard: index.shard_view(columns)
+            for shard, columns in enumerate(placed)
+            if columns
+        }
+        self._index_views[id(index)] = (index, views)
+        return views
+
+    # ------------------------------------------------------------------
+    # Admission (routing + scatter)
+    # ------------------------------------------------------------------
+    def offer(
+        self,
+        request: FrontendRequest,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        arrival_ns: Optional[float] = None,
+    ) -> ClusterRecord:
+        """Route one request to its shard(s); returns the cluster envelope.
+
+        Scans go to the least-loaded replica of their column's shard set;
+        conjunctions scatter into shard-local sub-conjunctions; everything
+        else goes to the least-loaded shard.  Scatter admission is
+        all-or-nothing: one refused part withdraws the rest.
+        """
+        arrival = self.clock_ns if arrival_ns is None else float(arrival_ns)
+        self.clock_ns = max(self.clock_ns, arrival)
+        record = ClusterRecord(
+            request=request,
+            arrival_ns=arrival,
+            priority=priority,
+            deadline_ns=deadline_ns,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.records.append(record)
+
+        load = lambda shard: self.shard_load(shard, arrival)  # noqa: E731
+        if isinstance(request, BitmapConjunctionRequest):
+            plan = self._scatter_conjunction(request, load)
+        elif isinstance(request, ScanRequest):
+            plan = [(self.router.route(request.column, load), request)]
+        else:
+            plan = [(self.router.route_any(load), request)]
+
+        for shard_id, sub_request in plan:
+            part = self.shards[shard_id].offer(
+                sub_request,
+                priority=priority,
+                deadline_ns=deadline_ns,
+                arrival_ns=arrival,
+            )
+            record.shard_ids.append(shard_id)
+            record.parts.append(part)
+            if not part.admitted:
+                record.admitted = False
+                record.rejected_reason = part.rejected_reason
+                for shard, sibling in zip(record.shard_ids[:-1], record.parts[:-1]):
+                    self.shards[shard].cancel(sibling)
+                break
+        return record
+
+    def _scatter_conjunction(
+        self, request: BitmapConjunctionRequest, load
+    ) -> List[Tuple[int, BitmapConjunctionRequest]]:
+        """Split a conjunction into shard-local sub-conjunctions."""
+        index = request.index
+        views = self._views_for(index)
+        assignment = self.router.assign_scatter(
+            [column for column, _ in request.predicates], load
+        )
+        by_shard: Dict[int, List[Tuple[str, Tuple[int, ...]]]] = {}
+        for (column, values), (_, shard) in zip(request.predicates, assignment):
+            by_shard.setdefault(shard, []).append((column, values))
+        return [
+            (
+                shard,
+                BitmapConjunctionRequest(
+                    index=views[shard], predicates=tuple(predicates)
+                ),
+            )
+            for shard, predicates in sorted(by_shard.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def advance_to(self, until_ns: float) -> None:
+        """Advance every shard's virtual clock towards ``until_ns``."""
+        for shard in self.shards:
+            shard.advance_to(until_ns)
+        self.clock_ns = max(self.clock_ns, until_ns)
+
+    def drain(self) -> None:
+        """Serve every shard until all queues are empty, then gather."""
+        for shard in self.shards:
+            shard.drain()
+        self.clock_ns = max(
+            [self.clock_ns] + [s.clock_ns for s in self.shards]
+        )
+        self._finalize_records()
+
+    def run(self, events: Iterable[ArrivalEvent], name: str = "cluster") -> ClusterResult:
+        """Serve a whole arrival stream across the cluster.
+
+        Arrivals are processed in global order; every shard serves the
+        batches its own policy closes before each arrival, so routing
+        reads shard loads as they stand at the arrival instant.
+        """
+        for event in sorted(events, key=lambda e: e.arrival_ns):
+            self.advance_to(event.arrival_ns)
+            self.offer(
+                event.request,
+                priority=event.priority,
+                deadline_ns=event.deadline_ns,
+                arrival_ns=event.arrival_ns,
+            )
+        self.drain()
+        return self.result(name)
+
+    # ------------------------------------------------------------------
+    # Gather and reporting
+    # ------------------------------------------------------------------
+    def _gather(self, record: ClusterRecord) -> None:
+        """Merge a completed record's shard parts into its final value."""
+        parts = record.parts
+        record.start_ns = min(p.start_ns for p in parts)
+        record.finish_ns = max(p.finish_ns for p in parts)
+        if len(parts) == 1:
+            record.value = parts[0].value
+            record.metrics = parts[0].metrics
+            return
+        # Scattered conjunction: AND the per-shard partial bitmaps.  The
+        # merge runs host-side (it is NOT charged as device work); device
+        # cost is the serial combination of the shard chains.
+        record.value = np.bitwise_and.reduce([p.value for p in parts])
+        merged = combine_serial("cluster_gather", (p.metrics for p in parts))
+        merged.notes = f"{len(parts)} shard partials, host-side AND merge"
+        record.metrics = merged
+
+    def _finalize_records(self) -> int:
+        """Sync scatter failures and gather finished records; host merges."""
+        merge_ops = 0
+        for record in self.records:
+            # A part shed after admission sinks the whole scatter: mark the
+            # record rejected and withdraw siblings still queued (siblings
+            # already served are wasted work, as in a real scatter).
+            if record.admitted and any(not p.admitted for p in record.parts):
+                failed = next(p for p in record.parts if not p.admitted)
+                record.admitted = False
+                record.rejected_reason = failed.rejected_reason
+                for shard, sibling in zip(record.shard_ids, record.parts):
+                    if sibling.admitted and not sibling.completed:
+                        self.shards[shard].cancel(sibling)
+            if record.completed:
+                if math.isnan(record.finish_ns):
+                    self._gather(record)
+                merge_ops += max(0, len(record.parts) - 1)
+        return merge_ops
+
+    def result(self, name: str = "cluster") -> ClusterResult:
+        """Gather all finished records and roll up cluster metrics."""
+        merge_ops = self._finalize_records()
+        per_shard = [
+            shard.result(f"{name}/shard{i}") for i, shard in enumerate(self.shards)
+        ]
+        metrics = ClusterMetrics.from_records(
+            name,
+            self.records,
+            [r.metrics for r in per_shard],
+            merge_ops=merge_ops,
+        )
+        return ClusterResult(
+            records=list(self.records), per_shard=per_shard, metrics=metrics
+        )

@@ -1,0 +1,177 @@
+"""Replica-aware placement of columns onto shard executors.
+
+The router owns one decision: **where data lives**.  Every routable key —
+a bitmap-index column name, a :class:`~repro.database.bitweaving
+.BitWeavingColumn` object — is placed on ``replication_factor``
+consecutive shards (1 for cold keys), and stays there for the router's
+lifetime, exactly like a column's planes stay in their banks on one
+device.  Two placement strategies:
+
+* ``"hash"`` — a stable CRC32 of the column name picks the home shard
+  (deterministic across processes, unlike Python's randomized ``hash``);
+  anonymous objects are placed round-robin in first-seen order.
+* ``"range"`` — the registered column-name universe is sorted and split
+  into contiguous runs, one per shard (range scans over adjacent columns
+  co-locate).
+
+**Replication (space-for-bandwidth).**  A hot column's bitmaps are worth
+storing on several devices: scans of it then route to the *least-loaded*
+replica, which resolves at cluster level the "plane replication across
+banks" gap the single-device pipeline left open.  ``hot_columns=None``
+replicates every key; otherwise only the named keys get
+``replication_factor`` replicas.
+
+The router never inspects load itself — callers pass a ``load`` function
+(the cluster frontend supplies its per-shard backlog vector) so placement
+stays deterministic and routing stays load-aware.
+"""
+
+from __future__ import annotations
+
+import weakref
+import zlib
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+#: Signature of the load oracle callers supply: shard id -> current load
+#: (any monotone congestion measure; the cluster frontend uses modeled ns).
+LoadFn = Callable[[int], float]
+
+
+class ShardRouter:
+    """Partitions columns across shards; routes reads to replicas.
+
+    Args:
+        num_shards: Number of shard executors in the cluster.
+        replication_factor: Replicas per *hot* key (consecutive shards
+            from the home shard).  Capped by ``num_shards``.
+        hot_columns: Keys that deserve replication.  None replicates every
+            key; an explicit collection replicates only its members (by
+            name for strings, by identity for objects).
+        strategy: ``"hash"`` or ``"range"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        replication_factor: int = 1,
+        hot_columns: Optional[Sequence] = None,
+        strategy: str = "hash",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be at least 1")
+        if strategy not in ("hash", "range"):
+            raise ValueError(f"unknown placement strategy {strategy!r}")
+        self.num_shards = num_shards
+        self.replication_factor = min(replication_factor, num_shards)
+        self.strategy = strategy
+        self._hot_names: Optional[set] = None
+        self._hot_ids: Optional[set] = None
+        if hot_columns is not None:
+            self._hot_names = {k for k in hot_columns if isinstance(k, str)}
+            self._hot_ids = {id(k) for k in hot_columns if not isinstance(k, str)}
+        self._named_home: Dict[str, int] = {}
+        self._object_home: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._round_robin = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def register_names(self, names: Sequence[str]) -> None:
+        """Fix the placement of a column-name universe.
+
+        For the ``"range"`` strategy this is where placement happens: the
+        sorted names are split into ``num_shards`` contiguous runs — so
+        register the whole universe up front for contiguity.  Names that
+        trickle in later (or one at a time via :meth:`replicas`) cannot be
+        placed contiguously and fall back to round-robin, which at least
+        keeps the load spread instead of piling every latecomer onto
+        shard 0.  For ``"hash"`` this simply materializes the CRC
+        placements eagerly.  Re-registering a known name keeps its
+        existing home (placement is sticky, like rows in banks).
+        """
+        if self.strategy == "range":
+            fresh = sorted(n for n in names if n not in self._named_home)
+            if len(fresh) == 1:
+                self._named_home[fresh[0]] = self._round_robin
+                self._round_robin = (self._round_robin + 1) % self.num_shards
+                return
+            for i, name in enumerate(fresh):
+                self._named_home[name] = min(
+                    i * self.num_shards // max(1, len(fresh)), self.num_shards - 1
+                )
+        else:
+            for name in names:
+                self._named_home.setdefault(
+                    name, zlib.crc32(name.encode()) % self.num_shards
+                )
+
+    def replicas(self, key: Hashable) -> List[int]:
+        """Shard ids holding ``key``, home shard first."""
+        home = self._home(key)
+        count = self.replication_factor if self._is_hot(key) else 1
+        return [(home + i) % self.num_shards for i in range(count)]
+
+    def _home(self, key: Hashable) -> int:
+        if isinstance(key, str):
+            if key not in self._named_home:
+                self.register_names([key])
+            return self._named_home[key]
+        home = self._object_home.get(key)
+        if home is None:
+            # Anonymous objects (BitWeaving columns) place round-robin in
+            # first-seen order: deterministic per run and perfectly spread.
+            home = self._round_robin
+            self._round_robin = (self._round_robin + 1) % self.num_shards
+            self._object_home[key] = home
+        return home
+
+    def _is_hot(self, key: Hashable) -> bool:
+        if self._hot_names is None:
+            return True
+        if isinstance(key, str):
+            return key in self._hot_names
+        return id(key) in self._hot_ids
+
+    def partition(self, names: Sequence[str]) -> List[List[str]]:
+        """Per-shard column lists (replicas included) for a name universe."""
+        self.register_names(list(names))
+        placed: List[List[str]] = [[] for _ in range(self.num_shards)]
+        for name in names:
+            for shard in self.replicas(name):
+                placed[shard].append(name)
+        return placed
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, key: Hashable, load: LoadFn) -> int:
+        """Least-loaded replica of ``key`` (home shard wins ties)."""
+        return min(self.replicas(key), key=lambda shard: (load(shard), shard))
+
+    def route_any(self, load: LoadFn) -> int:
+        """Least-loaded shard overall — for work with no column affinity."""
+        return min(range(self.num_shards), key=lambda shard: (load(shard), shard))
+
+    def assign_scatter(
+        self, keys: Sequence[Hashable], load: LoadFn
+    ) -> List[Tuple[Hashable, int]]:
+        """Assign each key of one scatter request to a replica shard.
+
+        Greedy fan-out minimization: a key lands on a shard already chosen
+        for a sibling key whenever one of its replicas is, otherwise on
+        its least-loaded replica.  Fewer shards touched means fewer
+        host-side merges and partial bitmaps on the gather path.
+        """
+        chosen: List[int] = []
+        assignment: List[Tuple[Hashable, int]] = []
+        for key in keys:
+            candidates = self.replicas(key)
+            shared = [s for s in candidates if s in chosen]
+            pool = shared if shared else candidates
+            shard = min(pool, key=lambda s: (load(s), s))
+            if shard not in chosen:
+                chosen.append(shard)
+            assignment.append((key, shard))
+        return assignment

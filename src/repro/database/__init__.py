@@ -21,13 +21,16 @@ from repro.database.tables import ColumnTable, generate_sales_table
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.bitweaving import BitWeavingColumn
 from repro.database.queries import QueryEngine, QueryResult, ScanBackend
+from repro.database.sharding import BitmapIndexShardView, TableShardView
 
 __all__ = [
     "BitWeavingColumn",
     "BitmapIndex",
+    "BitmapIndexShardView",
     "ColumnTable",
     "QueryEngine",
     "QueryResult",
     "ScanBackend",
+    "TableShardView",
     "generate_sales_table",
 ]

@@ -197,6 +197,16 @@ class BitmapIndex:
         bits = np.unpackbits(packed_bitmap, bitorder="little")[:num_rows]
         return int(bits.sum())
 
+    def shard_view(self, columns: Iterable[str]) -> "BitmapIndexShardView":
+        """A zero-copy view restricted to ``columns`` (cluster placement hook).
+
+        The view lowers and evaluates conjunctions shard-locally; see
+        :mod:`repro.database.sharding`.
+        """
+        from repro.database.sharding import BitmapIndexShardView  # local: avoid cycle
+
+        return BitmapIndexShardView(self, columns)
+
     def as_bulk_vectors(self, column: str) -> Dict[int, BulkBitVector]:
         """Return the column's bitmaps as :class:`BulkBitVector` objects.
 

@@ -14,6 +14,7 @@ BitWeaving predicate scans, RowClone copies, bitmap-index conjunctions):
 hand-build their own batches.
 """
 
+from repro.service.client import BackoffPolicy, RetryClient, RetryOutcome, RetryRecord
 from repro.service.executor import BatchExecutor
 from repro.service.frontend import (
     ArrivalEvent,
@@ -40,6 +41,7 @@ from repro.service.scheduler import BatchScheduler
 
 __all__ = [
     "ArrivalEvent",
+    "BackoffPolicy",
     "BatchExecutor",
     "BatchPlanner",
     "BatchPolicy",
@@ -53,6 +55,9 @@ __all__ = [
     "PipelineResult",
     "QueuedRequest",
     "RequestResult",
+    "RetryClient",
+    "RetryOutcome",
+    "RetryRecord",
     "SCAN_KINDS",
     "ScanRequest",
     "ServiceFrontend",

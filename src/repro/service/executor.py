@@ -486,6 +486,39 @@ class BatchExecutor:
     def banks_available(self) -> int:
         return min(self.engine.config.banks_parallel, self.engine.allocator.banks_total)
 
+    def active_bank_keys(self) -> List:
+        """Keys of the banks the executor schedules onto, in rotation order."""
+        return list(self._bank_keys[: self.banks_available()])
+
+    def span_banks(self, rows: int, offset: int) -> List:
+        """Bank keys a ``rows``-chunk request occupies from ``offset``."""
+        return self._modeled_banks(rows, offset % self.banks_available())
+
+    def modeled_banks(self, request: ServiceRequest) -> List:
+        """Bank keys the request is modeled to occupy (empty = unpinned).
+
+        Drives the frontend's per-bank backlog admission: requests with a
+        stable bank affinity — scans of a column, bulk ops over placed
+        vectors or with a ``bank_offset`` hint — charge their latency to
+        exactly the banks execution will contend for.  An empty list means
+        the request has no affinity (it will be rotated onto whichever
+        banks come next), so the frontend spreads its backlog evenly.
+        """
+        if isinstance(request, BulkOpRequest):
+            vector = request.a
+            if vector.allocation is not None and vector.allocation.placements:
+                return sorted({p.bank_key for p in vector.allocation.placements})
+            if request.bank_offset is not None:
+                return self.span_banks(vector.num_rows, request.bank_offset)
+            return []
+        if isinstance(request, ScanRequest):
+            expected, _ = request.scan_result()
+            rows = max(1, -(-len(expected) // self.engine.device.geometry.row_size_bytes))
+            return self.span_banks(rows, self._column_offset(request.column))
+        if isinstance(request, CopyRequest):
+            return []
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
     def _modeled_banks(self, rows: int, offset: int) -> List:
         """Bank keys a request of ``rows`` chunks occupies from ``offset``.
 

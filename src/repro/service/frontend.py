@@ -9,10 +9,25 @@ a Poisson arrival process, a recorded trace, or direct :meth:`offer` calls
 
 **Admission control.**  A request is rejected (never queued, never served)
 when the queue is at ``max_queue_depth``, or when the modeled bank
-occupancy — the queued requests' sequential latencies spread over the
-device's parallel banks — already exceeds ``max_backlog_ns``.  Rejected
+occupancy already exceeds ``max_backlog_ns``.  Occupancy is tracked as a
+**per-bank backlog vector**: each queued request charges its sequential
+latency to the banks it is modeled to occupy (its column's banks, its
+placement, its bank-offset hint), and requests with no affinity spread
+evenly.  The admission bound applies to the *hottest* bank the candidate
+would touch, so under bank skew the frontend rejects work piling onto a
+hot bank while still admitting work bound for idle banks — with balanced
+traffic the behaviour matches the older scalar model (queued serial
+latency / banks) and ``max_backlog_ns`` keeps its meaning.  Rejected
 requests are counted and returned to the caller with a reason; a real
-deployment would translate this into backpressure.
+deployment would translate this into backpressure (see
+:class:`~repro.service.client.RetryClient` for a retrying client model).
+
+**Load shedding.**  With ``shed_low_priority`` enabled, a request that
+would be refused makes room by evicting queued work of *strictly lower*
+priority (youngest of the lowest class first) — but only when shedding
+actually lets the candidate fit.  Shed requests are marked
+``rejected_reason="shed"`` and counted in
+:attr:`~repro.analysis.metrics.QueueMetrics.shed`.
 
 **Queue order.**  Higher ``priority`` first, then earliest deadline, then
 FIFO — so latency-critical classes overtake bulk work without starving it
@@ -29,8 +44,9 @@ rejections are summarized in :class:`~repro.analysis.metrics.QueueMetrics`.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -165,6 +181,7 @@ def summarize_records(
         offered=len(records),
         admitted=sum(1 for r in records if r.admitted),
         rejected=sum(1 for r in records if not r.admitted),
+        shed=sum(1 for r in records if r.rejected_reason == "shed"),
         completed=len(completed),
         deadline_misses=sum(1 for r in completed if r.deadline_missed),
         makespan_ns=makespan_ns,
@@ -186,11 +203,14 @@ class ServiceFrontend:
         max_queue_depth: Admission bound on queued (not yet serving)
             requests.
         max_backlog_ns: Admission bound on modeled bank occupancy: the
-            queued requests' sequential latencies divided by the device's
-            parallel banks, plus the candidate's own share.  None disables
+            backlog already charged to the hottest bank the candidate
+            would occupy, plus the candidate's own latency.  None disables
             occupancy-based admission.
         functional: Execute batches on the simulated banks (subject to the
             executor's ``verify_fraction``) instead of analytically.
+        shed_low_priority: When over an admission bound, evict queued work
+            of strictly lower priority (``rejected_reason="shed"``) to
+            make room, instead of only rejecting the candidate at the door.
     """
 
     def __init__(
@@ -201,6 +221,7 @@ class ServiceFrontend:
         max_queue_depth: int = 64,
         max_backlog_ns: Optional[float] = None,
         functional: bool = False,
+        shed_low_priority: bool = False,
     ) -> None:
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -209,13 +230,17 @@ class ServiceFrontend:
         self.max_queue_depth = max_queue_depth
         self.max_backlog_ns = max_backlog_ns
         self.functional = functional
+        self.shed_low_priority = shed_low_priority
         self.clock_ns = 0.0
         self.records: List[QueuedRequest] = []
         self.batches: List[BatchResult] = []
         self.busy_ns = 0.0
+        #: Queued requests evicted by priority-class load shedding.
+        self.shed_requests = 0
         self._heap: List = []
         self._seq = 0
         self._backlog_ns = 0.0
+        self._bank_backlog: Dict = {key: 0.0 for key in self.executor.active_bank_keys()}
 
     # ------------------------------------------------------------------
     # Admission
@@ -227,11 +252,117 @@ class ServiceFrontend:
 
     @property
     def backlog_ns(self) -> float:
-        """Modeled bank occupancy of the queue (serial latency / banks)."""
+        """Modeled occupancy of the hottest bank (the admission-binding value)."""
+        return max(self._bank_backlog.values(), default=0.0)
+
+    @property
+    def mean_backlog_ns(self) -> float:
+        """Queued serial latency spread over the banks (the old scalar model)."""
         return self._backlog_ns / self._banks()
+
+    def bank_backlog(self) -> Dict:
+        """Copy of the per-bank backlog vector (bank key -> queued ns)."""
+        return dict(self._bank_backlog)
 
     def _banks(self) -> int:
         return max(1, self.executor.banks_available())
+
+    def _occupancy_with(self, backlog: Dict, queued: QueuedRequest) -> float:
+        """Hottest-bank occupancy if ``queued`` were charged onto ``backlog``."""
+        if queued.modeled_banks:
+            return max(
+                backlog.get(key, 0.0) + queued.modeled_ns for key in queued.modeled_banks
+            )
+        share = queued.modeled_ns / self._banks()
+        return max(backlog.values(), default=0.0) + share
+
+    def _charge(self, queued: QueuedRequest, sign: float) -> None:
+        amount = sign * queued.modeled_ns
+        if queued.modeled_banks:
+            for key in queued.modeled_banks:
+                self._bank_backlog[key] = self._bank_backlog.get(key, 0.0) + amount
+        else:
+            share = amount / self._banks()
+            for key in self._bank_backlog:
+                self._bank_backlog[key] += share
+        self._backlog_ns += amount
+
+    def _reset_backlog(self) -> None:
+        """Absorb float drift once the queue is empty."""
+        self._backlog_ns = 0.0
+        for key in self._bank_backlog:
+            self._bank_backlog[key] = 0.0
+
+    # ------------------------------------------------------------------
+    # Priority-class load shedding
+    # ------------------------------------------------------------------
+    def _shed_order(self, candidate_priority: int) -> List[QueuedRequest]:
+        """Sheddable queued work: lowest priority class first, youngest first."""
+        victims = [q for _, q in self._heap if q.priority < candidate_priority]
+        victims.sort(key=lambda q: (q.priority, -q.seq))
+        return victims
+
+    def _remove_queued(self, queued: QueuedRequest, reason: str) -> None:
+        self._heap = [entry for entry in self._heap if entry[1] is not queued]
+        heapq.heapify(self._heap)
+        self._charge(queued, -1.0)
+        if not self._heap:
+            self._reset_backlog()
+        queued.admitted = False
+        queued.rejected_reason = reason
+
+    def _evict(self, victim: QueuedRequest, reason: str) -> None:
+        self._remove_queued(victim, reason)
+        self.shed_requests += 1
+
+    def cancel(self, queued: QueuedRequest, reason: str = "cancelled") -> bool:
+        """Withdraw a queued, not-yet-served request; True when removed.
+
+        The envelope is marked rejected with ``reason``.  The cluster
+        frontend uses this to keep scatter admission all-or-nothing: when
+        one shard refuses a sub-request, the siblings already queued on
+        other shards are withdrawn instead of running as wasted work.
+        """
+        if any(entry[1] is queued for entry in self._heap):
+            self._remove_queued(queued, reason)
+            return True
+        return False
+
+    def _uncharge_copy(self, backlog: Dict, victim: QueuedRequest) -> None:
+        """Remove a victim's charge from a *copied* backlog vector."""
+        if victim.modeled_banks:
+            for key in victim.modeled_banks:
+                backlog[key] = backlog.get(key, 0.0) - victim.modeled_ns
+        else:
+            share = victim.modeled_ns / self._banks()
+            for key in backlog:
+                backlog[key] -= share
+
+    def _plan_occupancy_shed(
+        self, candidate: QueuedRequest, pre_evicted: Sequence[QueuedRequest] = ()
+    ) -> Optional[List[QueuedRequest]]:
+        """Victims (beyond ``pre_evicted``) whose eviction fits ``candidate``.
+
+        Planned against a copy of the backlog vector: returns the victim
+        list ([] when the candidate already fits), or None when evicting
+        the *entire* lower-priority backlog still would not admit it — in
+        which case nothing may be shed (work is never wasted on a doomed
+        admission).
+        """
+        backlog = dict(self._bank_backlog)
+        for victim in pre_evicted:
+            self._uncharge_copy(backlog, victim)
+        chosen: List[QueuedRequest] = []
+        for victim in self._shed_order(candidate.priority):
+            if any(victim is evicted for evicted in pre_evicted):
+                continue
+            if self._occupancy_with(backlog, candidate) <= self.max_backlog_ns:
+                break
+            self._uncharge_copy(backlog, victim)
+            chosen.append(victim)
+        if self._occupancy_with(backlog, candidate) > self.max_backlog_ns:
+            return None
+        return chosen
 
     def offer(
         self,
@@ -260,20 +391,38 @@ class ServiceFrontend:
 
         # Depth check first: a queue-full rejection must not pay for the
         # latency model (for scans that is a full host-side evaluation).
+        # With shedding on, a lower-priority victim *can* make room — but
+        # its eviction is deferred until the whole admission plan (depth
+        # plus occupancy) is known to fit, so no victim is ever destroyed
+        # for a candidate that is rejected anyway.
+        victims: List[QueuedRequest] = []
         if len(self._heap) >= self.max_queue_depth:
-            queued.admitted = False
-            queued.rejected_reason = "queue_full"
-            return queued
+            if self.shed_low_priority:
+                sheddable = self._shed_order(priority)
+                if sheddable:
+                    victims.append(sheddable[0])
+            if not victims:
+                queued.admitted = False
+                queued.rejected_reason = "queue_full"
+                return queued
         queued.modeled_ns = self.planner.modeled_latency_ns(request)
-        if (
-            self.max_backlog_ns is not None
-            and (self._backlog_ns + queued.modeled_ns) / self._banks() > self.max_backlog_ns
-        ):
-            queued.admitted = False
-            queued.rejected_reason = "bank_occupancy"
-            return queued
+        queued.modeled_banks = self.planner.modeled_banks(request)
+        if self.max_backlog_ns is not None:
+            if self.shed_low_priority:
+                extra = self._plan_occupancy_shed(queued, pre_evicted=victims)
+                if extra is None:
+                    queued.admitted = False
+                    queued.rejected_reason = "bank_occupancy"
+                    return queued
+                victims.extend(extra)
+            elif self._occupancy_with(self._bank_backlog, queued) > self.max_backlog_ns:
+                queued.admitted = False
+                queued.rejected_reason = "bank_occupancy"
+                return queued
+        for victim in victims:
+            self._evict(victim, "shed")
         heapq.heappush(self._heap, (queued.sort_key(), queued))
-        self._backlog_ns += queued.modeled_ns
+        self._charge(queued, 1.0)
         return queued
 
     # ------------------------------------------------------------------
@@ -295,10 +444,10 @@ class ServiceFrontend:
         closed: List[QueuedRequest] = []
         for _ in range(size):
             _, queued = heapq.heappop(self._heap)
-            self._backlog_ns -= queued.modeled_ns
+            self._charge(queued, -1.0)
             closed.append(queued)
         if not self._heap:
-            self._backlog_ns = 0.0  # absorb float drift at empty queue
+            self._reset_backlog()
 
         primitives, groups = self.planner.lower_batch(closed)
         batch = self.executor.run(primitives, functional=self.functional)
@@ -330,6 +479,27 @@ class ServiceFrontend:
         while self._heap:
             self.serve_batch()
 
+    def advance_to(self, until_ns: float) -> None:
+        """Advance the virtual clock towards ``until_ns``, serving batches.
+
+        Serves every batch the policy closes strictly before ``until_ns``
+        (the clock may overshoot by an in-flight batch's makespan — service
+        is batch-synchronous), then stops so a pending arrival at
+        ``until_ns`` can be admitted against the live queue.  The clock is
+        *not* lifted to ``until_ns``; :meth:`offer` does that at arrival.
+        Shared by :meth:`run`, the cluster frontend, and the retry client.
+        """
+        while self._heap and self.clock_ns < until_ns:
+            if self.planner.should_close(self._queued(), self.clock_ns):
+                self.serve_batch()
+                continue
+            # Sleep until the policy's next closing instant (window expiry /
+            # the last moment an urgent deadline can still start on time).
+            wake = self.planner.next_close_ns(self._queued(), self.clock_ns)
+            if wake >= until_ns or wake <= self.clock_ns or math.isinf(wake):
+                break
+            self.clock_ns = wake
+
     def run(self, events: Iterable[ArrivalEvent], name: str = "frontend") -> PipelineResult:
         """Serve a whole arrival stream and return the pipeline outcome.
 
@@ -338,33 +508,15 @@ class ServiceFrontend:
         forced once the stream has ended), and service occupies the clock
         for each batch's makespan.
         """
-        pending = sorted(events, key=lambda e: e.arrival_ns)
-        i = 0
-        while i < len(pending) or self._heap:
-            if not self._heap and i < len(pending):
-                self.clock_ns = max(self.clock_ns, pending[i].arrival_ns)
-            while i < len(pending) and pending[i].arrival_ns <= self.clock_ns:
-                event = pending[i]
-                self.offer(
-                    event.request,
-                    priority=event.priority,
-                    deadline_ns=event.deadline_ns,
-                    arrival_ns=event.arrival_ns,
-                )
-                i += 1
-            if not self._heap:
-                continue
-            if i >= len(pending) or self.planner.should_close(self._queued(), self.clock_ns):
-                self.serve_batch()
-            else:
-                # Sleep until whichever comes first: the next arrival or the
-                # policy's next closing instant (window expiry / the last
-                # moment an urgent deadline can still start on time).
-                wake = min(
-                    pending[i].arrival_ns,
-                    self.planner.next_close_ns(self._queued(), self.clock_ns),
-                )
-                self.clock_ns = max(self.clock_ns, wake)
+        for event in sorted(events, key=lambda e: e.arrival_ns):
+            self.advance_to(event.arrival_ns)
+            self.offer(
+                event.request,
+                priority=event.priority,
+                deadline_ns=event.deadline_ns,
+                arrival_ns=event.arrival_ns,
+            )
+        self.drain()
         return self.result(name)
 
     # ------------------------------------------------------------------

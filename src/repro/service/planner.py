@@ -111,14 +111,30 @@ class BatchPlanner:
 
     def _conjunction_latency_ns(self, request: BitmapConjunctionRequest) -> float:
         engine = self.executor.engine
-        vector_bytes = (request.index.num_rows + 7) // 8
-        rows = max(1, -(-vector_bytes // engine.device.geometry.row_size_bytes))
         ops = sum(len(values) - 1 for _, values in request.predicates)
         ands = len(request.predicates) - 1
+        rows = self._conjunction_rows(request)
         return (
             ops * engine.op_cost("or", rows).latency_ns
             + ands * engine.op_cost("and", rows).latency_ns
         )
+
+    def _conjunction_rows(self, request: BitmapConjunctionRequest) -> int:
+        vector_bytes = (request.index.num_rows + 7) // 8
+        row_size = self.executor.engine.device.geometry.row_size_bytes
+        return max(1, -(-vector_bytes // row_size))
+
+    def modeled_banks(self, request: FrontendRequest) -> List:
+        """Bank keys any frontend request is modeled to occupy.
+
+        A lowered conjunction's whole chain is pinned to its index's stable
+        offset, so the chain charges the same banks it will serialize on.
+        """
+        if isinstance(request, BitmapConjunctionRequest):
+            return self.executor.span_banks(
+                self._conjunction_rows(request), self.executor.stable_offset(request.index)
+            )
+        return self.executor.modeled_banks(request)
 
     # ------------------------------------------------------------------
     # Batch closing

@@ -177,6 +177,10 @@ class QueuedRequest:
     #: Modeled sequential service latency (filled at admission; drives the
     #: planner's deadline urgency and the frontend's backlog accounting).
     modeled_ns: float = 0.0
+    #: Bank keys the request is modeled to occupy (filled at admission;
+    #: empty = unpinned, spread evenly).  Drives the frontend's per-bank
+    #: backlog vector.
+    modeled_banks: List = field(default_factory=list)
     batch_index: int = -1
     start_ns: float = math.nan
     finish_ns: float = math.nan
