@@ -23,6 +23,7 @@ import pytest
 
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.tables import ResultTable
+from repro.api import PimSession
 from repro.cluster import ClusterFrontend, ShardRouter
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.bitweaving import BitWeavingColumn
@@ -81,7 +82,9 @@ def _run_experiment():
     scans = _build_scans()
     outcomes = {}
     for num_shards in SHARD_COUNTS:
-        cluster = _build_cluster(num_shards)
+        # The exact same session loop drives one shard or four — the
+        # unified client API is the knob-free part of the scaling story.
+        session = PimSession(_build_cluster(num_shards), name=f"cluster_{num_shards}")
         requests = [ScanRequest(column=c, kind=k, constants=cs) for c, k, cs in scans]
         events = poisson_schedule(
             requests,
@@ -89,12 +92,14 @@ def _run_experiment():
             seed=11,
             deadline_slack_ns=DEADLINE_SLACK_NS,
         )
-        result = cluster.run(events, name=f"cluster_{num_shards}")
-        completed_bytes = sum(r.metrics.bytes_produced for r in result.completed())
-        throughput = completed_bytes / (result.metrics.makespan_ns * 1e-9)
-        outcomes[num_shards] = (result, throughput)
+        futures = session.submit_stream(events)
+        session.drain()
+        report = session.report()
+        completed_bytes = sum(f.metrics.bytes_produced for f in futures if f.done())
+        throughput = completed_bytes / (report.makespan_ns * 1e-9)
+        outcomes[num_shards] = (session, futures, report, throughput)
 
-    base_throughput = outcomes[SHARD_COUNTS[0]][1]
+    base_throughput = outcomes[SHARD_COUNTS[0]][3]
     table = ResultTable(
         title=(
             f"Poisson overload ({ARRIVAL_RATE_PER_S / 1e6:.0f} M req/s offered) across "
@@ -106,8 +111,8 @@ def _run_experiment():
         ],
     )
     for num_shards in SHARD_COUNTS:
-        result, throughput = outcomes[num_shards]
-        metrics = result.metrics
+        _session, _futures, report, throughput = outcomes[num_shards]
+        metrics = report.details
         table.add_row(
             num_shards,
             metrics.completed,
@@ -136,24 +141,28 @@ def _conjunction_check(seed: int = 13):
         (("region", (0, 4)), ("tier", (1, 3))),
         (("status", (2,)), ("tier", (5,))),
     ]
-    cluster = ClusterFrontend(
-        num_shards=4,
-        router=ShardRouter(4),
-        engine_factory=_engine_factory,
-        policy=BatchPolicy(max_batch=MAX_BATCH),
-        max_queue_depth=MAX_QUEUE_DEPTH,
+    session = PimSession(
+        ClusterFrontend(
+            num_shards=4,
+            router=ShardRouter(4),
+            engine_factory=_engine_factory,
+            policy=BatchPolicy(max_batch=MAX_BATCH),
+            max_queue_depth=MAX_QUEUE_DEPTH,
+        ),
+        name="cluster_conjunctions",
     )
     requests = [BitmapConjunctionRequest(index=index, predicates=c) for c in conjunctions]
     events = poisson_schedule(requests, rate_per_s=1e6, seed=seed)
-    result = cluster.run(events, name="cluster_conjunctions")
+    futures = session.submit_stream(events)
     checks = []
-    for record in result.records:
-        expected, _plan = index.evaluate_conjunction(list(record.request.predicates))
+    for future in futures:
+        response = future.result()
+        expected, _plan = index.evaluate_conjunction(list(future.request.predicates))
         checks.append(
-            (record.fanout, bool(np.array_equal(record.value, expected)),
-             BitmapIndex.count(record.value, rows))
+            (response.details.fanout, bool(np.array_equal(response.value, expected)),
+             response.matching_rows)
         )
-    return result, checks
+    return session.report(), checks
 
 
 @pytest.mark.benchmark(group="cluster")
@@ -161,8 +170,8 @@ def test_cluster_throughput_scales_with_shards(benchmark):
     table, outcomes = benchmark(_run_experiment)
     emit(table)
 
-    base_throughput = outcomes[SHARD_COUNTS[0]][1]
-    top_result, top_throughput = outcomes[SHARD_COUNTS[-1]]
+    base_throughput = outcomes[SHARD_COUNTS[0]][3]
+    top_throughput = outcomes[SHARD_COUNTS[-1]][3]
     speedup = top_throughput / base_throughput
     emit(f"4-shard aggregate throughput is {speedup:.1f}x the 1-shard cluster")
 
@@ -170,8 +179,7 @@ def test_cluster_throughput_scales_with_shards(benchmark):
     assert speedup >= 3.0
 
     for num_shards in SHARD_COUNTS:
-        result, _ = outcomes[num_shards]
-        metrics = result.metrics
+        metrics = outcomes[num_shards][2].details
         # Overload exercises admission control at every shard count, and
         # the report carries the roll-up the operators would watch.
         assert metrics.rejected > 0, "offered load must exceed cluster capacity"
@@ -182,16 +190,16 @@ def test_cluster_throughput_scales_with_shards(benchmark):
         assert all(u > 0.5 for u in metrics.utilization)
 
     # Completed scans are bit-exact with sequential execution.
-    sample = outcomes[SHARD_COUNTS[-1]][0]
-    for record in sample.completed()[:32]:
-        request = record.request
+    sample_futures = outcomes[SHARD_COUNTS[-1]][1]
+    for future in [f for f in sample_futures if f.done()][:32]:
+        request = future.request
         expected, _ = request.column.scan(request.kind, *request.constants)
-        assert np.array_equal(record.value, expected)
+        assert np.array_equal(future.result().value, expected)
 
 
 @pytest.mark.benchmark(group="cluster")
 def test_cluster_conjunctions_bit_exact(benchmark):
-    result, checks = benchmark(_conjunction_check)
+    report, checks = benchmark(_conjunction_check)
     table = ResultTable(
         title="Cross-shard conjunctions (4 shards): scatter-gather vs single device",
         columns=["conjunction", "fanout", "bit_exact", "matching_rows"],
@@ -203,5 +211,6 @@ def test_cluster_conjunctions_bit_exact(benchmark):
     # At least one conjunction actually fanned out across shards (the
     # host-side merge path is exercised, not just single-shard routing).
     assert any(fanout > 1 for fanout, _, _ in checks)
-    assert result.metrics.merge_ops > 0
-    assert result.metrics.cross_shard_fanout > 1.0
+    assert report.details.merge_ops > 0
+    assert report.details.host_merge_ns > 0.0
+    assert report.details.cross_shard_fanout > 1.0

@@ -16,9 +16,10 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.tables import ResultTable
+from repro.api import PimSession
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.bitweaving import BitWeavingColumn
-from repro.database.queries import QueryEngine, ScanBackend
+from repro.database.queries import QueryEngine
 from repro.database.tables import generate_sales_table
 
 from _bench_utils import emit
@@ -42,7 +43,12 @@ def _build_columns():
 
 
 def _run_experiment(columns):
-    engine = QueryEngine()
+    # The same workload submitted to two session backends: the serial
+    # host tier and the single-device Ambit service tier.  One cost model
+    # (`coster`) prices the shared host epilogue on both.
+    coster = QueryEngine()
+    host = PimSession.over_host(coster=coster)
+    service = PimSession.over_service(engine=coster.ambit, coster=coster)
     table = ResultTable(
         title="E4: BitWeaving range-count query latency (ms), CPU vs. Ambit",
         columns=["rows", "cpu_ms", "ambit_ms", "speedup"],
@@ -50,8 +56,8 @@ def _run_experiment(columns):
     speedups = []
     for entry in columns:
         column = entry["quantity"]
-        cpu = engine.range_count_query(column, 32, 57, ScanBackend.CPU)
-        ambit = engine.range_count_query(column, 32, 57, ScanBackend.AMBIT)
+        cpu = host.range_count(column, 32, 57).result()
+        ambit = service.range_count(column, 32, 57).result()
         assert cpu.matching_rows == ambit.matching_rows
         speedup = cpu.latency_ns / ambit.latency_ns
         speedups.append(speedup)
@@ -65,11 +71,12 @@ def _run_experiment(columns):
         if entry["index"] is None:
             continue
         predicates = [("region", [0, 1, 2])]
-        cpu = engine.bitmap_conjunction_query(entry["index"], predicates, ScanBackend.CPU)
-        ambit = engine.bitmap_conjunction_query(entry["index"], predicates, ScanBackend.AMBIT)
+        cpu = host.conjunction(entry["index"], predicates).result()
+        ambit = service.conjunction(entry["index"], predicates).result()
         bitmap_table.add_row(
             entry["rows"], cpu.latency_ns / 1e6, ambit.latency_ns / 1e6, cpu.latency_ns / ambit.latency_ns
         )
+    service.close()
     return table, bitmap_table, speedups
 
 

@@ -59,6 +59,7 @@ def _build_scans(seed: int = 7):
 
 
 def _run_experiment(system):
+    from repro.api import PimSession
     from repro.service import (
         BatchExecutor,
         BatchPolicy,
@@ -82,11 +83,15 @@ def _run_experiment(system):
         sequential_energy += cost.energy_j
         sequential_bytes += cost.bytes_produced
 
-    # Frontend-shaped service under Poisson arrivals.
-    frontend = ServiceFrontend(
-        executor=BatchExecutor(engine=ambit),
-        policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
-        max_queue_depth=MAX_QUEUE_DEPTH,
+    # Frontend-shaped service under Poisson arrivals, driven through the
+    # unified client API (the same loop drives the cluster benchmark).
+    session = PimSession(
+        ServiceFrontend(
+            executor=BatchExecutor(engine=ambit),
+            policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
+            max_queue_depth=MAX_QUEUE_DEPTH,
+        ),
+        name="poisson_frontend",
     )
     requests = [ScanRequest(column=c, kind=k, constants=cs) for c, k, cs in scans]
     events = poisson_schedule(
@@ -95,12 +100,13 @@ def _run_experiment(system):
         seed=11,
         deadline_slack_ns=DEADLINE_SLACK_NS,
     )
-    result = frontend.run(events, name="poisson_frontend")
-    metrics = result.metrics
+    futures = session.submit_stream(events)
+    session.drain()
+    metrics = session.report().details
 
-    completed = result.completed()
-    completed_bytes = sum(r.metrics.bytes_produced for r in completed)
-    completed_serial_ns = sum(r.metrics.latency_ns for r in completed)
+    completed = [f for f in futures if f.done()]
+    completed_bytes = sum(f.metrics.bytes_produced for f in completed)
+    completed_serial_ns = sum(f.metrics.latency_ns for f in completed)
     sequential_tput = sequential_bytes / (sequential_ns * 1e-9)
     pipeline_tput = completed_bytes / (metrics.busy_ns * 1e-9)
     speedup = pipeline_tput / sequential_tput
@@ -126,18 +132,18 @@ def _run_experiment(system):
         metrics.sojourn_p50_ns / 1e3, metrics.sojourn_p99_ns / 1e3,
         metrics.deadline_misses,
     )
-    return table, queue_table, result, completed_serial_ns, speedup
+    return table, queue_table, session, futures, completed_serial_ns, speedup
 
 
 @pytest.mark.benchmark(group="service-frontend")
 def test_service_frontend_poisson_throughput(benchmark, ddr3_ambit_system):
-    table, queue_table, result, completed_serial_ns, speedup = benchmark(
+    table, queue_table, session, futures, completed_serial_ns, speedup = benchmark(
         _run_experiment, ddr3_ambit_system
     )
     emit(table)
     emit(queue_table)
     emit(f"frontend-shaped throughput is {speedup:.1f}x sequential")
-    metrics = result.metrics
+    metrics = session.report().details
 
     # Acceptance: >= 6x sequential throughput from frontend-shaped batches.
     assert speedup >= 6.0
@@ -149,15 +155,20 @@ def test_service_frontend_poisson_throughput(benchmark, ddr3_ambit_system):
     assert metrics.offered == NUM_SCANS
     assert metrics.completed + metrics.rejected == metrics.offered
     assert metrics.rejected > 0, "overload must exercise admission control"
-    misses = sum(1 for r in result.completed() if r.deadline_missed)
+    completed = [f for f in futures if f.done()]
+    misses = sum(1 for f in completed if f.record.deadline_missed)
     assert metrics.deadline_misses == misses
 
     # Bit-exact with sequential execution, at identical energy.
     completed_energy = 0.0
-    for record in result.completed():
-        request = record.request
+    for future in completed:
+        request = future.request
+        response = future.result()
         expected, plan = request.column.scan(request.kind, *request.constants)
-        assert np.array_equal(record.value, expected)
-        completed_energy += record.metrics.energy_j
+        assert np.array_equal(response.value, expected)
+        assert response.matching_rows == int(
+            np.unpackbits(expected, bitorder="little")[: request.column.num_rows].sum()
+        )
+        completed_energy += future.metrics.energy_j
     assert metrics.energy_j == pytest.approx(completed_energy)
     assert metrics.busy_ns <= completed_serial_ns

@@ -24,12 +24,13 @@ import numpy as np
 
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.tables import ResultTable
+from repro.api import PimSession
 from repro.cluster import ClusterFrontend, ShardRouter
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.bitweaving import BitWeavingColumn
 from repro.database.tables import ColumnTable
 from repro.dram.device import DramDevice
-from repro.service import BatchPolicy, BitmapConjunctionRequest, ScanRequest, poisson_schedule
+from repro.service import BatchPolicy, ScanRequest, poisson_schedule
 
 BANKS_PER_SHARD = 8
 NUM_COLUMNS = 32
@@ -78,20 +79,16 @@ def scatter_gather() -> None:
     table.add_column("tier", rng.integers(0, 6, size=ROWS), cardinality=6)
     index = BitmapIndex(table, ["region", "status", "tier"])
 
-    cluster = build_cluster(4)
-    record = cluster.offer(
-        BitmapConjunctionRequest(
-            index=index,
-            predicates=(("region", (1, 2, 3)), ("status", (0, 1)), ("tier", (0, 2))),
-        )
-    )
-    cluster.drain()
-    expected, _plan = index.evaluate_conjunction(list(record.request.predicates))
-    assert np.array_equal(record.value, expected), "scatter-gather diverged"
+    session = PimSession(build_cluster(4))
+    predicates = [("region", (1, 2, 3)), ("status", (0, 1)), ("tier", (0, 2))]
+    response = session.conjunction(index, predicates).result()
+    expected, _plan = index.evaluate_conjunction(predicates)
+    assert np.array_equal(response.value, expected), "scatter-gather diverged"
     print(
-        f"conjunction scattered over {record.fanout} shard(s) "
-        f"{record.shard_ids}; merged bitmap bit-exact with single-device "
-        f"evaluation ({BitmapIndex.count(record.value, ROWS)} matching rows)"
+        f"conjunction scattered over {response.details.fanout} shard(s) "
+        f"{list(response.details.shard_ids)}; merged bitmap bit-exact with "
+        f"single-device evaluation ({response.matching_rows} matching rows, "
+        f"{response.details.host_merge_ns:.0f} ns charged to the host merge)"
     )
 
 
@@ -119,11 +116,14 @@ def scaling_sweep() -> None:
     )
     base = None
     for num_shards in (1, 2, 4):
-        cluster = build_cluster(num_shards)
+        # One session loop, any shard count: the unified API is what
+        # makes "the same workload, both tiers" a one-line change.
+        session = PimSession(build_cluster(num_shards), name=f"cluster_{num_shards}")
         events = poisson_schedule(list(scans), rate_per_s=16e6, seed=11)
-        result = cluster.run(events, name=f"cluster_{num_shards}")
-        m = result.metrics
-        completed_bytes = sum(r.metrics.bytes_produced for r in result.completed())
+        futures = session.submit_stream(events)
+        session.drain()
+        m = session.report().details
+        completed_bytes = sum(f.metrics.bytes_produced for f in futures if f.done())
         throughput = completed_bytes / (m.makespan_ns * 1e-9)
         base = base or throughput
         table.add_row(

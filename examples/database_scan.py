@@ -2,10 +2,13 @@
 """Analytics queries over a column store: CPU vs. Ambit scans.
 
 This example builds a synthetic sales table, indexes it with a bitmap index
-and a BitWeaving layout, and runs the same queries on two backends:
+and a BitWeaving layout, and runs the same queries through one
+:class:`~repro.api.PimSession` API against two backends:
 
-* the host CPU (bulk bitwise operations through the cache hierarchy), and
-* Ambit (bulk bitwise operations inside DRAM).
+* the host CPU (``PimSession.over_host()`` — bulk bitwise operations
+  through the cache hierarchy), and
+* Ambit (``PimSession.over_service()`` — bulk bitwise operations inside
+  DRAM, behind the service tier).
 
 It prints the per-query latency on both backends for several table sizes to
 show how the in-memory advantage grows once the bit vectors no longer fit in
@@ -18,54 +21,57 @@ Run with::
 """
 
 from repro.analysis.tables import ResultTable
+from repro.api import PimSession
 from repro.database import (
     BitWeavingColumn,
     BitmapIndex,
-    QueryEngine,
-    ScanBackend,
     generate_sales_table,
 )
 
 
-def run_queries(num_rows: int, engine: QueryEngine, table: ResultTable) -> None:
+def run_queries(
+    num_rows: int, host: PimSession, ambit: PimSession, table: ResultTable
+) -> None:
     sales = generate_sales_table(num_rows, seed=1)
     quantity = BitWeavingColumn.from_table(sales, "quantity")
     index = BitmapIndex(sales, ["region", "product"])
 
     # Query 1: SELECT COUNT(*) WHERE 32 <= quantity <= 57 (BitWeaving range scan).
-    cpu = engine.range_count_query(quantity, 32, 57, ScanBackend.CPU)
-    ambit = engine.range_count_query(quantity, 32, 57, ScanBackend.AMBIT)
+    cpu = host.range_count(quantity, 32, 57).result()
+    pim = ambit.range_count(quantity, 32, 57).result()
     table.add_row(
         num_rows,
         "range scan (quantity)",
         cpu.matching_rows,
         cpu.latency_ns / 1e6,
-        ambit.latency_ns / 1e6,
-        cpu.latency_ns / ambit.latency_ns,
+        pim.latency_ns / 1e6,
+        cpu.latency_ns / pim.latency_ns,
     )
 
     # Query 2: SELECT COUNT(*) WHERE region IN (0,1) AND product IN (0..3).
     predicates = [("region", [0, 1]), ("product", [0, 1, 2, 3])]
-    cpu = engine.bitmap_conjunction_query(index, predicates, ScanBackend.CPU)
-    ambit = engine.bitmap_conjunction_query(index, predicates, ScanBackend.AMBIT)
+    cpu = host.conjunction(index, predicates).result()
+    pim = ambit.conjunction(index, predicates).result()
     table.add_row(
         num_rows,
         "bitmap conjunction",
         cpu.matching_rows,
         cpu.latency_ns / 1e6,
-        ambit.latency_ns / 1e6,
-        cpu.latency_ns / ambit.latency_ns,
+        pim.latency_ns / 1e6,
+        cpu.latency_ns / pim.latency_ns,
     )
 
 
 def main() -> None:
-    engine = QueryEngine()
+    host = PimSession.over_host()
+    ambit = PimSession.over_service()
     table = ResultTable(
-        title="Analytics queries: CPU vs. Ambit scan backends",
+        title="Analytics queries: CPU vs. Ambit scan backends (one PimSession API)",
         columns=["rows", "query", "matches", "cpu_ms", "ambit_ms", "speedup"],
     )
     for num_rows in (1_000_000, 4_000_000, 16_000_000):
-        run_queries(num_rows, engine, table)
+        run_queries(num_rows, host, ambit, table)
+    ambit.close()
     print(table.render())
 
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.tables import ResultTable
+from repro.api import PimSession
 from repro.cluster import ClusterFrontend
 from repro.database.bitweaving import BitWeavingColumn
 from repro.dram.device import DramDevice
@@ -91,16 +92,20 @@ def main() -> None:
         outcome.gave_up, outcome.total_attempts,
     )
 
-    # The same client drives a sharded cluster unchanged.
-    cluster = ClusterFrontend(
-        num_shards=2,
-        engine_factory=lambda: AmbitEngine(
-            DramDevice.ddr3(), AmbitConfig(banks_parallel=8)
-        ),
-        policy=BatchPolicy(max_batch=8, window_ns=None),
-        max_queue_depth=12,
+    # The same client drives a sharded cluster unchanged — here wrapped in
+    # a PimSession (the client speaks the shared Backend protocol either
+    # way, so passing the session or its backend is equivalent).
+    session = PimSession(
+        ClusterFrontend(
+            num_shards=2,
+            engine_factory=lambda: AmbitEngine(
+                DramDevice.ddr3(), AmbitConfig(banks_parallel=8)
+            ),
+            policy=BatchPolicy(max_batch=8, window_ns=None),
+            max_queue_depth=12,
+        )
     )
-    clustered = RetryClient(cluster, policy, seed=1).run(build_events(), name="cluster")
+    clustered = RetryClient(session, policy, seed=1).run(build_events(), name="cluster")
     table.add_row(
         "retry over 2 shards", clustered.delivered, clustered.delivered_after_retry,
         clustered.gave_up, clustered.total_attempts,

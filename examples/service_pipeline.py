@@ -92,16 +92,24 @@ def build_workload(rng, num_requests=160, rate_per_s=3e6):
 
 
 def serve_stream() -> None:
+    from repro.api import PimSession
+
     rng = np.random.default_rng(42)
     engine = AmbitEngine(DramDevice.ddr3(), AmbitConfig(banks_parallel=8))
-    frontend = ServiceFrontend(
-        executor=BatchExecutor(engine=engine),
-        policy=BatchPolicy(max_batch=48, window_ns=25_000.0, urgency_slack_ns=0.0),
-        max_queue_depth=64,
+    # The unified client API: a session over the service frontend.  The
+    # identical loop would drive a ClusterFrontend or the host baseline.
+    session = PimSession(
+        ServiceFrontend(
+            executor=BatchExecutor(engine=engine),
+            policy=BatchPolicy(max_batch=48, window_ns=25_000.0, urgency_slack_ns=0.0),
+            max_queue_depth=64,
+        ),
+        name="two_class_stream",
     )
     events = build_workload(rng)
-    result = frontend.run(events, name="two_class_stream")
-    m = result.metrics
+    futures = session.submit_stream(events)
+    session.drain()
+    m = session.report().details
 
     table = ResultTable(
         title="Two-class Poisson stream on DDR3 (8 banks)",
@@ -119,13 +127,14 @@ def serve_stream() -> None:
     table.add_row("energy (mJ)", f"{m.energy_j * 1e3:.3f}")
     print(table.render())
 
-    interactive = [r for r in result.completed() if r.priority == 1]
-    batch_class = [r for r in result.completed() if r.priority == 0]
+    done = [f for f in futures if f.done()]
+    interactive = [f for f in done if f.record.priority == 1]
+    batch_class = [f for f in done if f.record.priority == 0]
     if interactive and batch_class:
         mean = lambda xs: sum(xs) / len(xs)
         print(
-            f"\ninteractive mean sojourn {mean([r.sojourn_ns for r in interactive]) / 1e3:.1f} us"
-            f" vs best-effort {mean([r.sojourn_ns for r in batch_class]) / 1e3:.1f} us"
+            f"\ninteractive mean sojourn {mean([f.sojourn_ns for f in interactive]) / 1e3:.1f} us"
+            f" vs best-effort {mean([f.sojourn_ns for f in batch_class]) / 1e3:.1f} us"
             " (priorities at work)"
         )
 

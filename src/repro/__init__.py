@@ -14,6 +14,7 @@ Gómez-Luna, Ausavarungnirun; DAC 2019).  It provides:
 * a bitmap-index / BitWeaving database substrate (:mod:`repro.database`),
 * an admission-controlled request-service pipeline (:mod:`repro.service`),
 * a sharded multi-device cluster tier over it (:mod:`repro.cluster`),
+* a unified client API over every tier (:mod:`repro.api`),
 * host-processor and GPU baselines (:mod:`repro.hostsim`), and
 * a user-facing composition layer (:mod:`repro.core`).
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass
@@ -209,6 +209,66 @@ class QueueMetrics:
         )
 
 
+def summarize_envelopes(records: Sequence) -> Dict:
+    """Common queueing summary over duck-typed request envelopes.
+
+    The one place the per-request roll-up arithmetic lives: counts
+    (offered/admitted/rejected/shed/completed/deadline misses), the
+    wait/sojourn percentiles, and the serial latency/energy of the
+    completed work.  Both the service tier
+    (:func:`summarize_queue_records`, behind
+    :func:`repro.service.frontend.summarize_records`) and the cluster
+    roll-up (:meth:`ClusterMetrics.from_records`) build their metrics
+    from this dict, so the two tiers can never drift on what a count or
+    a percentile means.
+
+    ``records`` are duck-typed envelopes carrying ``admitted``,
+    ``rejected_reason``, ``completed``, ``wait_ns``, ``sojourn_ns``,
+    ``deadline_missed``, and ``metrics`` — i.e. either
+    :class:`~repro.service.requests.QueuedRequest` or
+    :class:`~repro.cluster.frontend.ClusterRecord`.
+    """
+    records = list(records)
+    completed = [r for r in records if r.completed]
+    return dict(
+        offered=len(records),
+        admitted=sum(1 for r in records if r.admitted),
+        rejected=sum(1 for r in records if not r.admitted),
+        shed=sum(1 for r in records if r.rejected_reason == "shed"),
+        completed=len(completed),
+        deadline_misses=sum(1 for r in completed if r.deadline_missed),
+        wait_p50_ns=percentile([r.wait_ns for r in completed], 50) or 0.0,
+        wait_p99_ns=percentile([r.wait_ns for r in completed], 99) or 0.0,
+        sojourn_p50_ns=percentile([r.sojourn_ns for r in completed], 50) or 0.0,
+        sojourn_p99_ns=percentile([r.sojourn_ns for r in completed], 99) or 0.0,
+        serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
+        energy_j=sum(r.metrics.energy_j for r in completed),
+    )
+
+
+def summarize_queue_records(
+    name: str,
+    records: Sequence,
+    makespan_ns: float,
+    busy_ns: float,
+    batches: int,
+) -> QueueMetrics:
+    """Queueing summary over a window of request envelopes.
+
+    Used by :meth:`ServiceFrontend.result` over the frontend's lifetime,
+    by :meth:`PimSession.report` over just one session's records, and by
+    the host backend — so a shared or reused backend never folds earlier
+    traffic into a later report.
+    """
+    return QueueMetrics(
+        name=name,
+        makespan_ns=makespan_ns,
+        busy_ns=busy_ns,
+        batches=batches,
+        **summarize_envelopes(records),
+    )
+
+
 @dataclass
 class ClusterMetrics:
     """Roll-up of serving a request stream across a sharded cluster.
@@ -229,7 +289,9 @@ class ClusterMetrics:
             requests (first sub-request start minus arrival).
         sojourn_p50_ns / sojourn_p99_ns: Sojourn percentiles (last
             sub-request finish minus arrival, merge included).
-        makespan_ns: Virtual-clock end of the slowest shard.
+        makespan_ns: Virtual-clock end of the stream: the slowest shard,
+            extended by any gather merge that completes after it (a
+            request is not done until the host has merged it).
         busy_ns: Summed shard service time.
         serial_latency_ns: Latency of the completed requests' device work
             executed one at a time (the no-overlap, no-sharding baseline).
@@ -240,6 +302,9 @@ class ClusterMetrics:
         cross_shard_fanout: Mean number of shards a completed request
             touched (1.0 = no scatter).
         merge_ops: Host-side bitwise merges the gather stage performed.
+        host_merge_ns: Host time charged for those merges (the cluster
+            frontend's ``merge_ns_per_op`` knob times ``merge_ops``) —
+            the gather path's AND-merges are host work, not free.
         per_shard: Each shard frontend's own queueing summary.
     """
 
@@ -263,6 +328,7 @@ class ClusterMetrics:
     imbalance: float = 1.0
     cross_shard_fanout: float = 0.0
     merge_ops: int = 0
+    host_merge_ns: float = 0.0
     per_shard: List[QueueMetrics] = field(default_factory=list)
 
     @property
@@ -293,6 +359,7 @@ class ClusterMetrics:
         records: Iterable,
         per_shard: List[QueueMetrics],
         merge_ops: int = 0,
+        clock_offset: float = 0.0,
     ) -> "ClusterMetrics":
         """Build the roll-up from cluster records plus per-shard summaries.
 
@@ -300,30 +367,25 @@ class ClusterMetrics:
         defines them; metrics stays import-free of it): each carries
         ``admitted``, ``rejected_reason``, ``completed``, ``wait_ns``,
         ``sojourn_ns``, ``deadline_missed``, ``shard_ids``, and
-        ``metrics``.
+        ``metrics``.  ``clock_offset`` is the absolute virtual-clock
+        origin of the observation window (0 for a whole-life roll-up):
+        record finish times are measured against it so the makespan can
+        be extended past the shard makespans by late host merges.
         """
         records = list(records)
         completed = [r for r in records if r.completed]
-        makespan = max((m.makespan_ns for m in per_shard), default=0.0)
+        makespan = max(
+            [m.makespan_ns for m in per_shard]
+            + [r.finish_ns - clock_offset for r in completed]
+            + [0.0]
+        )
         busy = [m.busy_ns for m in per_shard]
         mean_busy = sum(busy) / len(busy) if busy else 0.0
         return cls(
             name=name,
             shards=len(per_shard),
-            offered=len(records),
-            admitted=sum(1 for r in records if r.admitted),
-            rejected=sum(1 for r in records if not r.admitted),
-            shed=sum(1 for r in records if r.rejected_reason == "shed"),
-            completed=len(completed),
-            deadline_misses=sum(1 for r in completed if r.deadline_missed),
-            wait_p50_ns=percentile([r.wait_ns for r in completed], 50) or 0.0,
-            wait_p99_ns=percentile([r.wait_ns for r in completed], 99) or 0.0,
-            sojourn_p50_ns=percentile([r.sojourn_ns for r in completed], 50) or 0.0,
-            sojourn_p99_ns=percentile([r.sojourn_ns for r in completed], 99) or 0.0,
             makespan_ns=makespan,
             busy_ns=sum(busy),
-            serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
-            energy_j=sum(r.metrics.energy_j for r in completed),
             utilization=[b / makespan if makespan > 0 else 0.0 for b in busy],
             imbalance=max(busy) / mean_busy if mean_busy > 0 else 1.0,
             cross_shard_fanout=(
@@ -332,7 +394,9 @@ class ClusterMetrics:
                 else 0.0
             ),
             merge_ops=merge_ops,
+            host_merge_ns=sum(getattr(r, "host_merge_ns", 0.0) for r in completed),
             per_shard=list(per_shard),
+            **summarize_envelopes(records),
         )
 
 

@@ -1,0 +1,698 @@
+"""``PimSession``: one submit/future surface over every execution tier.
+
+Before this module, running "the same workload" against the single-device
+service tier and the sharded cluster tier meant choosing among six
+divergent :class:`~repro.database.queries.QueryEngine` entry points and
+two frontends returning five different result shapes.  A session
+collapses that to one loop::
+
+    session = PimSession.over_cluster(num_shards=4)   # or .over_service()
+    f1 = session.scan(column, "between", 10, 99, priority=1)
+    f2 = session.conjunction(index, [("region", (1, 2)), ("status", (0,))])
+    f3 = session.range_count(column, 32, 57)
+    response = f1.result()          # drains the backend if needed
+    print(response.matching_rows, response.latency_ns, response.details)
+    print(session.report())         # unified SessionReport, any tier
+
+* **Declarative constructors** (:meth:`~PimSession.scan`,
+  :meth:`~PimSession.conjunction`, :meth:`~PimSession.range_count`)
+  build :mod:`repro.api.plans` specs, lower them once through the shared
+  plan IR, and submit them to the backend at the session's virtual
+  clock.
+* **Futures** wrap the backend's envelope: ``done()``, ``status``,
+  ``result()`` (which virtually blocks — it drains the backend), and the
+  per-request timing surface.
+* **One Response shape** regardless of tier: value bits, matching rows,
+  scan + host-epilogue latency/energy, queueing timestamps, and a typed
+  ``details`` field carrying the tier-specific extras
+  (:class:`ServiceDetails` / :class:`ClusterDetails` /
+  :class:`HostDetails`).
+* **Windowed reporting**: a session snapshots its backend at
+  construction and :meth:`~PimSession.report` summarizes only *its own*
+  traffic, so several sessions can share one long-lived backend without
+  folding each other's requests into their reports.
+
+A session works over anything speaking the
+:class:`~repro.api.backends.Backend` protocol; bit-exactness of the same
+workload across tiers is pinned by ``tests/test_api_session.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import (
+    ClusterMetrics,
+    QueueMetrics,
+    summarize_queue_records,
+)
+from repro.api.backends import Backend, HostBackend
+from repro.api.plans import (
+    ConjunctionSpec,
+    QuerySpec,
+    ScanSpec,
+    range_count_spec,
+    spec_for_request,
+)
+from repro.database.bitmap_index import BitmapIndex
+from repro.database.queries import QueryEngine
+from repro.service.frontend import ArrivalEvent
+
+
+class RequestRejected(RuntimeError):
+    """Raised by :meth:`Future.result` when admission refused the request.
+
+    Attributes:
+        reason: The backend's ``rejected_reason`` (``"queue_full"``,
+            ``"bank_occupancy"``, ``"shed"``, ``"cancelled"``, ...).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"request rejected by admission control ({reason})")
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Tier-specific response details
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceDetails:
+    """Service-tier extras: which batch served the request and what the
+    admission model charged for it."""
+
+    batch_index: int
+    modeled_ns: float
+    modeled_banks: Tuple = ()
+
+
+@dataclass(frozen=True)
+class ClusterDetails:
+    """Cluster-tier extras: where the request ran and what the gather cost."""
+
+    shard_ids: Tuple[int, ...]
+    fanout: int
+    host_merge_ns: float
+
+
+@dataclass(frozen=True)
+class HostDetails:
+    """Host-tier extras (none: a single core has no placement to report)."""
+
+
+ResponseDetails = Union[ServiceDetails, ClusterDetails, HostDetails]
+
+
+@dataclass
+class Response:
+    """The unified outcome of one session request, identical across tiers.
+
+    Collapses the legacy ``QueryResult`` / ``BatchQueryResult`` /
+    ``PipelineResult`` / ``ClusterResult`` / ``BatchResult`` shapes: the
+    per-request fields live here, the per-stream roll-up in
+    :class:`SessionReport`.
+
+    Attributes:
+        kind: What was asked (``"scan"``, ``"range_count"``,
+            ``"conjunction"``, or ``"request"`` for raw primitives).
+        status: ``"completed"`` or ``"rejected"``.
+        value: The packed result bitmap (None when rejected, or for
+            requests without a bitmap result).
+        matching_rows: COUNT(*) of the predicate (None when not a query).
+        latency_ns: Scan service latency plus the host epilogue
+            (popcount + materialization) — the end-to-end query latency.
+        energy_j: Scan plus epilogue energy.
+        breakdown: Latency components (``scan_ns`` / ``epilogue_ns``).
+        arrival_ns / start_ns / finish_ns: Queueing timestamps on the
+            backend's virtual clock (NaN when rejected).
+        wait_ns / sojourn_ns: Arrival-to-start / arrival-to-finish.
+        deadline_missed: True when service finished past the deadline.
+        rejected_reason: Why admission refused it ("" when completed).
+        details: Tier-specific extras (typed by backend tier).
+    """
+
+    kind: str
+    status: str
+    value: Any = None
+    matching_rows: Optional[int] = None
+    latency_ns: float = 0.0
+    energy_j: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    arrival_ns: float = math.nan
+    start_ns: float = math.nan
+    finish_ns: float = math.nan
+    wait_ns: float = math.nan
+    sojourn_ns: float = math.nan
+    deadline_missed: bool = False
+    rejected_reason: str = ""
+    details: ResponseDetails = field(default_factory=HostDetails)
+
+    @property
+    def completed(self) -> bool:
+        """True when the request finished service."""
+        return self.status == "completed"
+
+
+class Future:
+    """Handle to one submitted request.
+
+    Cheap to hold, lazy to resolve: the backend simulates in virtual
+    time, so :meth:`result` "blocks" by draining the session's backend
+    and then materializes the unified :class:`Response`.
+
+    Attributes:
+        spec: The declarative spec (None for raw primitive submissions).
+        request: The lowered request the backend queued.
+        record: The backend's envelope (tier-specific; the protocol
+            surface — ``admitted``, ``completed``, ``value``,
+            ``metrics``, timing — is what the session reads).
+    """
+
+    def __init__(self, session: "PimSession", spec: Optional[QuerySpec], request, record, kind: str) -> None:
+        self._session = session
+        self.spec = spec
+        self.request = request
+        self.record = record
+        self.kind = kind
+        self._response: Optional[Response] = None
+
+    def done(self) -> bool:
+        """True once the request has been served (never for rejected ones)."""
+        return bool(self.record.completed)
+
+    @property
+    def status(self) -> str:
+        """``"queued"``, ``"completed"``, or ``"rejected"``."""
+        if not self.record.admitted:
+            return "rejected"
+        return "completed" if self.record.completed else "queued"
+
+    @property
+    def metrics(self):
+        """The backend-charged service cost (None before service)."""
+        return self.record.metrics
+
+    @property
+    def wait_ns(self) -> float:
+        """Arrival to service start (NaN before service)."""
+        return self.record.wait_ns
+
+    @property
+    def sojourn_ns(self) -> float:
+        """Arrival to completion (NaN before service)."""
+        return self.record.sojourn_ns
+
+    def result(self) -> Response:
+        """The unified response; drains the backend when still queued.
+
+        Raises:
+            RequestRejected: When admission refused the request — at the
+                door, by load shedding, or by an all-or-nothing scatter.
+        """
+        if self._response is not None and self._response.completed:
+            return self._response
+        if not self.record.admitted:
+            raise RequestRejected(self.record.rejected_reason)
+        if not self.record.completed:
+            self._session.drain()
+        if not self.record.admitted:  # e.g. shed or cancelled while queued
+            raise RequestRejected(self.record.rejected_reason)
+        if not self.record.completed:
+            raise RuntimeError("request did not complete after drain")
+        self._response = self._session._build_response(self)
+        return self._response
+
+    def response(self) -> Response:
+        """Like :meth:`result`, but rejections return a ``"rejected"``
+        response instead of raising."""
+        try:
+            return self.result()
+        except RequestRejected:
+            return Response(
+                kind=self.kind,
+                status="rejected",
+                rejected_reason=self.record.rejected_reason,
+                arrival_ns=self.record.arrival_ns,
+                details=self._session._details_for(self.record),
+            )
+
+
+_SHARED_METRIC_FIELDS = (
+    "offered",
+    "admitted",
+    "rejected",
+    "shed",
+    "completed",
+    "deadline_misses",
+    "wait_p50_ns",
+    "wait_p99_ns",
+    "sojourn_p50_ns",
+    "sojourn_p99_ns",
+    "makespan_ns",
+    "busy_ns",
+    "serial_latency_ns",
+    "energy_j",
+)
+
+
+@dataclass
+class SessionReport:
+    """The unified per-stream roll-up, identical in shape across tiers.
+
+    The common queueing surface (counts, percentiles, makespan, busy
+    time, serial latency, energy) reads directly off the report; the
+    full tier-specific metrics object stays available in ``details`` —
+    :class:`~repro.analysis.metrics.QueueMetrics` for the service and
+    host tiers, :class:`~repro.analysis.metrics.ClusterMetrics` (with
+    utilization, imbalance, fan-out, host merge cost) for the cluster.
+
+    Attributes:
+        name: Label of the report.
+        tier: ``"service"``, ``"cluster"``, or ``"host"``.
+        requests: Futures this session submitted.
+        details: The underlying tier metrics object.
+    """
+
+    name: str
+    tier: str
+    requests: int
+    details: Union[QueueMetrics, ClusterMetrics]
+
+    def __getattr__(self, item):
+        # Delegate the shared queueing surface to the tier metrics; keeps
+        # one report shape without duplicating fifteen fields.
+        if item in _SHARED_METRIC_FIELDS or item in (
+            "rejection_rate",
+            "deadline_miss_rate",
+        ):
+            return getattr(self.details, item)
+        raise AttributeError(item)
+
+
+class PimSession:
+    """One submit/future client surface over any :class:`Backend`.
+
+    Args:
+        backend: The execution tier — a
+            :class:`~repro.service.frontend.ServiceFrontend`, a
+            :class:`~repro.cluster.frontend.ClusterFrontend`, or a
+            :class:`~repro.api.backends.HostBackend` (anything speaking
+            the protocol).
+        coster: Host-side query cost model for the epilogue (popcount +
+            materialization).  Defaults to a :class:`QueryEngine` sharing
+            the backend's engine, so session responses price epilogues
+            exactly as the legacy entry points did.
+        name: Default label of this session's reports.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        coster: Optional[QueryEngine] = None,
+        name: str = "session",
+    ) -> None:
+        self.backend = backend
+        self.name = name
+        self.tier = self._tier_of(backend)
+        self.futures: List[Future] = []
+        self._coster = coster or self._default_coster()
+        # Window snapshot: report() covers only this session's traffic.
+        self._clock0 = backend.clock_ns
+        if self.tier == "cluster":
+            # Per-shard window origins: never before the session itself
+            # (an idle shard's clock lags the cluster), never before the
+            # shard's own clock (it may be mid-batch past the origin).
+            self._shard_clock0 = [
+                max(s.clock_ns, self._clock0) for s in backend.shards
+            ]
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def over_service(cls, engine=None, coster=None, name="service_session", **kwargs) -> "PimSession":
+        """A session over a fresh single-device :class:`ServiceFrontend`.
+
+        ``engine`` is the :class:`~repro.ambit.engine.AmbitEngine` to
+        execute on (a vectorized default is built when omitted); other
+        keyword arguments go to the frontend (``policy``,
+        ``max_queue_depth``, ``max_backlog_ns``, ``functional``,
+        ``shed_low_priority``).
+        """
+        from repro.service.executor import BatchExecutor  # local: avoid cycle
+        from repro.service.frontend import ServiceFrontend  # local: avoid cycle
+
+        frontend = ServiceFrontend(executor=BatchExecutor(engine=engine), **kwargs)
+        return cls(frontend, coster=coster, name=name)
+
+    @classmethod
+    def over_cluster(cls, num_shards=2, coster=None, name="cluster_session", **kwargs) -> "PimSession":
+        """A session over a fresh N-shard :class:`ClusterFrontend`.
+
+        Keyword arguments go to the cluster frontend (``router``,
+        ``engine_factory``, ``policy``, admission knobs,
+        ``merge_ns_per_op``).
+        """
+        from repro.cluster.frontend import ClusterFrontend  # local: avoid cycle
+
+        return cls(ClusterFrontend(num_shards=num_shards, **kwargs), coster=coster, name=name)
+
+    @classmethod
+    def over_host(cls, coster=None, name="host_session") -> "PimSession":
+        """A session over the serial host-CPU baseline backend."""
+        return cls(HostBackend(coster=coster), coster=coster, name=name)
+
+    # ------------------------------------------------------------------
+    # Declarative constructors
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        column,
+        kind: str,
+        *constants: int,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit one BitWeaving predicate scan; returns its future."""
+        spec = ScanSpec(column=column, kind=kind, constants=tuple(constants))
+        return self._submit_spec(spec, "scan", priority, deadline_ns, at_ns)
+
+    def range_count(
+        self,
+        column,
+        low: int,
+        high: int,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit ``SELECT COUNT(*) WHERE low <= col <= high``."""
+        spec = range_count_spec(column, low, high)
+        return self._submit_spec(spec, "range_count", priority, deadline_ns, at_ns)
+
+    def conjunction(
+        self,
+        index,
+        predicates: Sequence[Tuple[str, Sequence[int]]],
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit a bitmap-index conjunction of per-column ``IN`` predicates."""
+        spec = ConjunctionSpec(
+            index=index,
+            predicates=tuple((column, tuple(values)) for column, values in predicates),
+        )
+        return self._submit_spec(spec, "conjunction", priority, deadline_ns, at_ns)
+
+    def submit(
+        self,
+        work,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit a plan-IR spec or an already-lowered frontend request.
+
+        Specs lower through :mod:`repro.api.plans`; raw requests (the
+        shape arrival schedulers produce) pass through untouched so their
+        cached evaluations are preserved.
+        """
+        if isinstance(work, (ScanSpec, ConjunctionSpec)):
+            kind = "conjunction" if isinstance(work, ConjunctionSpec) else "scan"
+            return self._submit_spec(work, kind, priority, deadline_ns, at_ns)
+        try:
+            spec = spec_for_request(work)
+            kind = "conjunction" if isinstance(spec, ConjunctionSpec) else "scan"
+        except TypeError:
+            spec, kind = None, "request"
+        return self._submit(spec, work, kind, priority, deadline_ns, at_ns)
+
+    def submit_stream(self, events: Iterable[ArrivalEvent]) -> List[Future]:
+        """Submit a whole arrival stream; futures come back in event order.
+
+        Arrivals are processed in virtual-time order (the backend serves
+        whatever its policy closes between them), exactly like the
+        frontends' own ``run`` loops.
+        """
+        events = list(events)
+        futures: List[Optional[Future]] = [None] * len(events)
+        order = sorted(range(len(events)), key=lambda i: events[i].arrival_ns)
+        for i in order:
+            event = events[i]
+            futures[i] = self.submit(
+                event.request,
+                priority=event.priority,
+                deadline_ns=event.deadline_ns,
+                at_ns=event.arrival_ns,
+            )
+        return futures  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Clock and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def clock_ns(self) -> float:
+        """The backend's virtual clock."""
+        return self.backend.clock_ns
+
+    def advance_to(self, until_ns: float) -> None:
+        """Advance the backend's clock towards ``until_ns``, serving work."""
+        self.backend.advance_to(until_ns)
+
+    def drain(self) -> None:
+        """Serve everything queued (futures become resolvable)."""
+        self.backend.drain()
+
+    def close(self) -> None:
+        """Drain the backend and hand pooled device rows back.
+
+        Call when the session owns a one-shot backend; a shared backend
+        should instead be closed by whoever owns it.
+        """
+        self.drain()
+        for executor in self._executors():
+            executor.pool.drain()
+
+    def responses(self) -> List[Response]:
+        """Every future's response, submission order (rejections included)."""
+        self.drain()
+        return [future.response() for future in self.futures]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, name: Optional[str] = None) -> SessionReport:
+        """Summarize this session's own traffic into a unified report.
+
+        Both ends of the window are the session's own: the start is the
+        backend clock at construction, and — once every future is
+        terminal — the end is the last own completion (for the service
+        and host tiers, busy time and batch counts come from the batches
+        that served *this session's* requests).  Traffic other sessions
+        push through a shared backend before or after therefore never
+        leaks into the time-based fields, matching the counts.
+        """
+        label = name or self.name
+        records = [future.record for future in self.futures]
+        if self.tier == "cluster":
+            self.backend.gather()
+            parts_by_shard: Dict[int, List] = {}
+            for record in records:
+                for shard_id, part in zip(record.shard_ids, record.parts):
+                    parts_by_shard.setdefault(shard_id, []).append(part)
+            per_shard = [
+                self._shard_window(f"{label}/shard{i}", shard, parts_by_shard.get(i, []), i)
+                for i, shard in enumerate(self.backend.shards)
+            ]
+            merge_ops = sum(
+                max(0, len(r.parts) - 1) for r in records if r.completed
+            )
+            metrics: Union[QueueMetrics, ClusterMetrics] = ClusterMetrics.from_records(
+                label,
+                records,
+                per_shard,
+                merge_ops=merge_ops,
+                clock_offset=self._clock0,
+            )
+        else:
+            metrics = summarize_queue_records(
+                label,
+                records,
+                makespan_ns=self._window_makespan(records),
+                busy_ns=self._window_busy(records),
+                batches=self._window_batches(records),
+            )
+        return SessionReport(
+            name=label, tier=self.tier, requests=len(self.futures), details=metrics
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tier_of(backend: Backend) -> str:
+        if hasattr(backend, "shards"):
+            return "cluster"
+        if isinstance(backend, HostBackend):
+            return "host"
+        return "service"
+
+    def _default_coster(self) -> QueryEngine:
+        if self.tier == "host":
+            return self.backend.coster
+        if self.tier == "cluster":
+            return QueryEngine(ambit=self.backend.shards[0].executor.engine)
+        return QueryEngine(ambit=self.backend.executor.engine)
+
+    def _executors(self):
+        if self.tier == "cluster":
+            return [shard.executor for shard in self.backend.shards]
+        if self.tier == "service":
+            return [self.backend.executor]
+        return []
+
+    # -- Session-window accounting -------------------------------------
+    #
+    # Both window ends belong to the session: makespan runs from the
+    # construction-time clock to the last own completion (falling back to
+    # the live clock while futures are still queued), and busy time /
+    # batch counts are attributed through the batches that actually
+    # served this session's requests (shared batches split by
+    # serial-latency share) — so a shared backend's other traffic never
+    # leaks into the time-based fields.
+
+    @staticmethod
+    def _all_terminal(records) -> bool:
+        return all((not r.admitted) or r.completed for r in records)
+
+    def _window_makespan(self, records) -> float:
+        completed = [r for r in records if r.completed]
+        if records and self._all_terminal(records):
+            return max((r.finish_ns - self._clock0 for r in completed), default=0.0)
+        return self.backend.clock_ns - self._clock0
+
+    def _window_busy(self, records) -> float:
+        completed = [r for r in records if r.completed]
+        if self.tier == "host":
+            return sum(r.metrics.latency_ns for r in completed)
+        return self._apportioned_busy(self.backend, completed)
+
+    def _window_batches(self, records) -> int:
+        completed = [r for r in records if r.completed]
+        if self.tier == "host":
+            return len(completed)
+        return len(self._own_batches(self.backend, completed))
+
+    @staticmethod
+    def _own_batches(frontend, completed) -> List[int]:
+        """Indices of the frontend batches that served ``completed``."""
+        return sorted(
+            {r.batch_index for r in completed if 0 <= r.batch_index < len(frontend.batches)}
+        )
+
+    @staticmethod
+    def _apportioned_busy(frontend, completed) -> float:
+        """Executor busy time attributed to ``completed``'s batches.
+
+        A batch that also served another session's requests is split by
+        serial-latency share, so concurrently interleaved sessions over
+        one backend sum to the backend's actual busy time instead of each
+        counting the shared batch in full.  A session that owns a whole
+        batch is charged exactly its latency (the single-session case).
+        """
+        own_serial: Dict[int, float] = {}
+        for record in completed:
+            if 0 <= record.batch_index < len(frontend.batches):
+                own_serial[record.batch_index] = (
+                    own_serial.get(record.batch_index, 0.0) + record.metrics.latency_ns
+                )
+        busy = 0.0
+        for index, serial in own_serial.items():
+            batch = frontend.batches[index].metrics
+            if batch.serial_latency_ns > 0:
+                busy += batch.latency_ns * min(1.0, serial / batch.serial_latency_ns)
+        return busy
+
+    def _shard_window(self, label: str, shard, own_parts, shard_id: int) -> QueueMetrics:
+        """One shard's queueing summary over this session's own parts."""
+        clock0 = self._shard_clock0[shard_id]
+        completed = [p for p in own_parts if p.completed]
+        if own_parts and self._all_terminal(own_parts):
+            makespan = max((p.finish_ns - clock0 for p in completed), default=0.0)
+        elif own_parts:
+            makespan = shard.clock_ns - clock0
+        else:
+            makespan = 0.0
+        return summarize_queue_records(
+            label,
+            own_parts,
+            makespan_ns=makespan,
+            busy_ns=self._apportioned_busy(shard, completed),
+            batches=len(self._own_batches(shard, completed)),
+        )
+
+    def _submit_spec(self, spec, kind, priority, deadline_ns, at_ns) -> Future:
+        return self._submit(spec, spec.to_request(), kind, priority, deadline_ns, at_ns)
+
+    def _submit(self, spec, request, kind, priority, deadline_ns, at_ns) -> Future:
+        arrival = self.backend.clock_ns if at_ns is None else float(at_ns)
+        # Serve whatever the policy closes before this arrival, so
+        # admission sees the live queue — identical to the frontends'
+        # own run() loops.
+        self.backend.advance_to(arrival)
+        record = self.backend.offer(
+            request, priority=priority, deadline_ns=deadline_ns, arrival_ns=arrival
+        )
+        future = Future(self, spec, request, record, kind)
+        self.futures.append(future)
+        return future
+
+    def _details_for(self, record) -> ResponseDetails:
+        if self.tier == "cluster":
+            return ClusterDetails(
+                shard_ids=tuple(record.shard_ids),
+                fanout=len(record.shard_ids),
+                host_merge_ns=getattr(record, "host_merge_ns", 0.0),
+            )
+        if self.tier == "host":
+            return HostDetails()
+        return ServiceDetails(
+            batch_index=record.batch_index,
+            modeled_ns=record.modeled_ns,
+            modeled_banks=tuple(record.modeled_banks),
+        )
+
+    def _build_response(self, future: Future) -> Response:
+        record = future.record
+        if self.tier == "cluster" and math.isnan(record.finish_ns):
+            self.backend.gather()
+        scan = record.metrics
+        value = record.value
+        matching: Optional[int] = None
+        epilogue_ns = 0.0
+        epilogue_j = 0.0
+        num_rows = future.spec.num_rows if future.spec is not None else None
+        if num_rows is not None and value is not None:
+            matching = BitmapIndex.count(value, num_rows)
+            epilogue = self._coster.epilogue_cost(num_rows, matching)
+            epilogue_ns = epilogue.latency_ns
+            epilogue_j = epilogue.energy_j
+        return Response(
+            kind=future.kind,
+            status="completed",
+            value=value,
+            matching_rows=matching,
+            latency_ns=scan.latency_ns + epilogue_ns,
+            energy_j=scan.energy_j + epilogue_j,
+            breakdown={"scan_ns": scan.latency_ns, "epilogue_ns": epilogue_ns},
+            arrival_ns=record.arrival_ns,
+            start_ns=record.start_ns,
+            finish_ns=record.finish_ns,
+            wait_ns=record.wait_ns,
+            sojourn_ns=record.sojourn_ns,
+            deadline_missed=record.deadline_missed,
+            details=self._details_for(record),
+        )

@@ -80,9 +80,13 @@ class ClusterRecord:
             conjunction; the part's own value otherwise).
         metrics: Serial device cost across the parts (host-side merge ANDs
             are *not* device work and are tallied in
-            :attr:`ClusterMetrics.merge_ops` instead).
+            :attr:`ClusterMetrics.merge_ops` /
+            :attr:`ClusterMetrics.host_merge_ns` instead).
+        host_merge_ns: Host time charged for this record's gather-side
+            AND-merges (``merge_ns_per_op`` per merge; 0 for a single
+            part).  Included in ``finish_ns`` and therefore the sojourn.
         start_ns / finish_ns: First part's service start / last part's
-            finish (NaN before service).
+            finish plus the host merge time (NaN before service).
     """
 
     request: FrontendRequest
@@ -96,6 +100,7 @@ class ClusterRecord:
     rejected_reason: str = ""
     value: Any = None
     metrics: Optional[OperationMetrics] = None
+    host_merge_ns: float = 0.0
     start_ns: float = math.nan
     finish_ns: float = math.nan
 
@@ -173,7 +178,18 @@ class ClusterFrontend:
             admission knobs (see :class:`ServiceFrontend`).
         functional: Execute shard batches on the simulated banks.
         shards: Pre-built shard frontends (overrides the factory path).
+        merge_ns_per_op: Host time charged per gather-side AND-merge of
+            two shard partials.  The merge runs on the host, not on a
+            device, so it is charged to the record's completion time (and
+            rolled up in :attr:`ClusterMetrics.host_merge_ns`) rather
+            than to device metrics.  The default prices one AND over an
+            8 KiB row-sized bitmap through host memory (read two
+            operands, write one result at tens of GB/s); 0 restores the
+            pre-costing behaviour.
     """
+
+    #: Default host cost of AND-merging two 8 KiB partial bitmaps.
+    DEFAULT_MERGE_NS_PER_OP = 250.0
 
     def __init__(
         self,
@@ -186,7 +202,11 @@ class ClusterFrontend:
         functional: bool = False,
         shed_low_priority: bool = False,
         shards: Optional[List[ServiceFrontend]] = None,
+        merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
     ) -> None:
+        if merge_ns_per_op < 0.0:
+            raise ValueError("merge_ns_per_op must be non-negative")
+        self.merge_ns_per_op = float(merge_ns_per_op)
         if shards is not None:
             if not shards:
                 raise ValueError("shards must not be empty")
@@ -374,11 +394,21 @@ class ClusterFrontend:
             return
         # Scattered conjunction: AND the per-shard partial bitmaps.  The
         # merge runs host-side (it is NOT charged as device work); device
-        # cost is the serial combination of the shard chains.
+        # cost is the serial combination of the shard chains, and the host
+        # cost model charges `merge_ns_per_op` per AND into the record's
+        # completion time — a gathered result is not ready until the host
+        # has actually merged it.
         record.value = np.bitwise_and.reduce([p.value for p in parts])
+        record.host_merge_ns = (len(parts) - 1) * self.merge_ns_per_op
+        record.finish_ns += record.host_merge_ns
         merged = combine_serial("cluster_gather", (p.metrics for p in parts))
         merged.notes = f"{len(parts)} shard partials, host-side AND merge"
         record.metrics = merged
+
+    def gather(self) -> int:
+        """Gather every finished record (public hook for sessions/futures);
+        returns the total host merge count so far."""
+        return self._finalize_records()
 
     def _finalize_records(self) -> int:
         """Sync scatter failures and gather finished records; host merges."""

@@ -154,42 +154,15 @@ class BitmapIndex:
         Returns:
             (steps, result vector, plan).  With one single-value predicate
             the step list is empty and the result is the bitmap itself.
-        """
-        if not predicates:
-            raise ValueError("predicates must not be empty")
-        steps: List[Tuple[str, BulkBitVector, BulkBitVector, BulkBitVector]] = []
-        operations: List[Tuple[str, int]] = []
-        partials: List[BulkBitVector] = []
-        for column, values in predicates:
-            values = list(values)
-            if not values:
-                raise ValueError(f"predicate on {column!r} has no values")
-            acc = self._bitmap_vector(column, values[0], row_size_bytes)
-            for value in values[1:]:
-                out = BulkBitVector(self.num_rows, row_size_bytes)
-                steps.append(
-                    ("or", acc, self._bitmap_vector(column, value, row_size_bytes), out)
-                )
-                acc = out
-            if len(values) > 1:
-                operations.append(("or", len(values) - 1))
-            partials.append(acc)
-        result = partials[0]
-        for partial in partials[1:]:
-            out = BulkBitVector(self.num_rows, row_size_bytes)
-            steps.append(("and", result, partial, out))
-            result = out
-        if len(predicates) > 1:
-            operations.append(("and", len(predicates) - 1))
-        plan = BitmapPlan(operations=operations, result_bits=self.num_rows)
-        return steps, result, plan
 
-    def _bitmap_vector(self, column: str, value: int, row_size_bytes: int) -> BulkBitVector:
-        """A host-only vector holding one value's packed bitmap."""
-        packed = self.bitmap(column, value)
-        vector = BulkBitVector(self.num_rows, row_size_bytes)
-        vector.data[: packed.size] = packed
-        return vector
+        The expansion itself lives in the shared plan IR
+        (:func:`repro.api.plans.lower_conjunction_steps`), which both the
+        single-device planner and every cluster shard lower through; this
+        method remains as the index-side convenience surface.
+        """
+        from repro.api.plans import lower_conjunction_steps  # local: avoid cycle
+
+        return lower_conjunction_steps(self, predicates, row_size_bytes=row_size_bytes)
 
     @staticmethod
     def count(packed_bitmap: np.ndarray, num_rows: int) -> int:

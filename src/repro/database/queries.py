@@ -18,6 +18,7 @@ paper's query-latency reduction grows with the data-set size (E4).
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -128,6 +129,10 @@ class QueryEngine:
         self.cpu = cpu or HostCpu()
         self.ambit = ambit or AmbitEngine()
         self.cost = cost or QueryCostParameters()
+        # One cached backend per tier for the deprecated shims, so a
+        # caller looping a legacy entry point does not rebuild the
+        # executor/pool machinery per query.
+        self._shim_backends: Dict[ScanBackend, object] = {}
 
     # ------------------------------------------------------------------
     # Scan-cost models
@@ -262,6 +267,129 @@ class QueryEngine:
             },
         )
 
+    # ------------------------------------------------------------------
+    # Unified-API plumbing (sessions over the same cost models)
+    # ------------------------------------------------------------------
+    def _shim_backend(self, backend: ScanBackend):
+        """The cached per-tier backend the deprecated shims submit to.
+
+        CPU queries run through one serial :class:`HostBackend` (priced
+        by :meth:`cpu_scan_cost`); Ambit queries through one
+        :class:`ServiceFrontend` over ``self.ambit``.  The backend lives
+        for the engine's lifetime (its virtual clock simply keeps
+        advancing across calls; every shim reports through a per-call
+        session window, so reuse is invisible in the results).  Caching
+        keeps the executor/rowclone/pool *objects*; per-call state —
+        request records, batches, pooled device rows — is handed back by
+        :meth:`_release_shim_session` so looped legacy calls neither
+        grow memory nor pin rows on a possibly-shared engine.
+        """
+        cached = self._shim_backends.get(backend)
+        if cached is None:
+            if backend is ScanBackend.CPU:
+                from repro.api.backends import HostBackend  # local: avoid cycle
+
+                cached = HostBackend(coster=self)
+            else:
+                from repro.service.executor import BatchExecutor  # local: avoid cycle
+                from repro.service.frontend import ServiceFrontend  # local: avoid cycle
+
+                cached = ServiceFrontend(executor=BatchExecutor(engine=self.ambit))
+            self._shim_backends[backend] = cached
+        return cached
+
+    def _one_shot_session(
+        self,
+        backend: ScanBackend,
+        size: int = 1,
+        functional: bool = False,
+        single_batch: bool = True,
+    ) -> "PimSession":
+        """A per-call session window over the cached shim backend.
+
+        With ``single_batch`` (the shape the legacy batch entry points
+        produced) the policy admits the whole workload as one batch;
+        otherwise the default size-32 policy applies, as the legacy
+        pipeline paths had it.
+        """
+        from repro.api.session import PimSession  # local: avoid cycle
+        from repro.service.planner import BatchPolicy  # local: avoid cycle
+
+        frontend = self._shim_backend(backend)
+        if backend is ScanBackend.AMBIT:
+            frontend.functional = functional
+            frontend.planner.policy.max_batch = (
+                max(1, size) if single_batch else BatchPolicy().max_batch
+            )
+            frontend.max_queue_depth = max(64, size)
+        return PimSession(frontend, coster=self)
+
+    @staticmethod
+    def _release_shim_session(session: "PimSession") -> None:
+        """Hand back a legacy call's per-call state from the cached backend.
+
+        The legacy entry points built one-shot frontends that were
+        garbage-collected after each call; the cached backend must match
+        that: records and batches (which pin result bitmaps) are dropped,
+        and pooled device rows go back to the engine's allocator — the
+        shims never retain rows on a possibly-shared engine, exactly as
+        the old one-shot schedulers promised.  Only the construction of
+        the executor machinery is amortized by the cache.
+        """
+        backend = session.backend
+        backend.records.clear()
+        if hasattr(backend, "batches"):
+            backend.batches.clear()
+        if hasattr(backend, "executor"):
+            backend.executor.pool.drain()
+
+    @staticmethod
+    def _query_result(backend: ScanBackend, response) -> QueryResult:
+        """Map a unified :class:`~repro.api.session.Response` to the legacy shape."""
+        return QueryResult(
+            backend=backend,
+            matching_rows=response.matching_rows,
+            latency_ns=response.latency_ns,
+            energy_j=response.energy_j,
+            breakdown=dict(response.breakdown),
+        )
+
+    def _assemble_batch(
+        self, backend: ScanBackend, futures, metrics, request_indices: bool = False
+    ) -> BatchQueryResult:
+        """Fold completed session futures into the legacy batch shape.
+
+        Rejected requests produce no entry; with ``request_indices`` the
+        result-to-query mapping stays intact across the gaps (the pipeline
+        entry points' contract).
+        """
+        batch = BatchQueryResult()
+        epilogue_serial_ns = 0.0
+        for i, future in enumerate(futures):
+            if not future.done():
+                continue
+            response = future.result()
+            epilogue_serial_ns += response.breakdown["epilogue_ns"]
+            batch.results.append(self._query_result(backend, response))
+            if request_indices:
+                batch.request_indices.append(i)
+            batch.energy_j += response.energy_j
+        batch.serial_latency_ns = metrics.serial_latency_ns + epilogue_serial_ns
+        batch.latency_ns = metrics.busy_ns + epilogue_serial_ns
+        return batch
+
+    @staticmethod
+    def _warn_deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"QueryEngine.{old} is deprecated; use the unified client API "
+            f"instead ({new})",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated entry points (thin shims over PimSession)
+    # ------------------------------------------------------------------
     def range_count_query(
         self,
         column: BitWeavingColumn,
@@ -269,9 +397,33 @@ class QueryEngine:
         high: int,
         backend: ScanBackend,
     ) -> QueryResult:
-        """``SELECT COUNT(*) WHERE low <= col <= high`` on the chosen backend."""
-        result, plan = column.scan_range(low, high)
-        return self.execute_scan(result, plan, column.num_rows, backend)
+        """``SELECT COUNT(*) WHERE low <= col <= high`` on the chosen backend.
+
+        .. deprecated:: use ``PimSession.range_count`` instead.
+        """
+        self._warn_deprecated("range_count_query", "PimSession.range_count")
+        session = self._one_shot_session(backend)
+        future = session.range_count(column, low, high)
+        response = future.result()
+        self._release_shim_session(session)
+        return self._query_result(backend, response)
+
+    def bitmap_conjunction_query(
+        self,
+        index: BitmapIndex,
+        predicates,
+        backend: ScanBackend,
+    ) -> QueryResult:
+        """``SELECT COUNT(*) WHERE col1 IN (...) AND col2 IN (...)`` query.
+
+        .. deprecated:: use ``PimSession.conjunction`` instead.
+        """
+        self._warn_deprecated("bitmap_conjunction_query", "PimSession.conjunction")
+        session = self._one_shot_session(backend)
+        future = session.conjunction(index, predicates)
+        response = future.result()
+        self._release_shim_session(session)
+        return self._query_result(backend, response)
 
     def scan_query_batch(
         self,
@@ -281,12 +433,14 @@ class QueryEngine:
     ) -> BatchQueryResult:
         """Execute many predicate scans as one batch on the chosen backend.
 
-        On the Ambit backend the scans go through the
-        :class:`~repro.service.scheduler.BatchScheduler`, so scans over
-        columns in different banks overlap; on the CPU backend they simply
-        run back to back (a single host core offers no such overlap).  The
-        per-query results, matching counts, and total energy are identical
-        to running each query alone.
+        .. deprecated:: submit ``PimSession.scan`` futures and read
+           ``session.report()`` instead.
+
+        On the Ambit backend the scans run as one frontend batch, so scans
+        over columns in different banks overlap; on the CPU backend they
+        simply run back to back (a single host core offers no such
+        overlap).  The per-query results, matching counts, and total
+        energy are identical to running each query alone.
 
         Args:
             scans: (column, kind, constants) triples; ``kind`` is one of
@@ -295,47 +449,20 @@ class QueryEngine:
             functional: On the Ambit backend, execute the scans on the
                 simulated banks rather than analytically.
         """
-        from repro.service.scheduler import BatchScheduler  # local: avoid cycle
+        self._warn_deprecated("scan_query_batch", "PimSession.scan")
+        return self._scan_query_batch_impl(scans, backend, functional=functional)
 
-        batch = BatchQueryResult()
-        if backend is ScanBackend.CPU:
-            for column, kind, constants in scans:
-                result_bits, plan = column.scan(kind, *constants)
-                query = self.execute_scan(result_bits, plan, column.num_rows, backend)
-                batch.results.append(query)
-                batch.serial_latency_ns += query.latency_ns
-                batch.latency_ns += query.latency_ns
-                batch.energy_j += query.energy_j
-            return batch
-
-        scheduler = BatchScheduler(engine=self.ambit)
-        for column, kind, constants in scans:
-            scheduler.submit_scan(column, kind, *constants)
-        service_batch = scheduler.execute(functional=functional)
-        scheduler.pool.drain()  # one-shot scheduler: hand the rows back
-
-        epilogue_serial_ns = 0.0
-        for (column, kind, constants), request in zip(scans, service_batch.results):
-            matching = BitmapIndex.count(request.value, column.num_rows)
-            epilogue = self.epilogue_cost(column.num_rows, matching)
-            epilogue_serial_ns += epilogue.latency_ns
-            batch.results.append(
-                QueryResult(
-                    backend=backend,
-                    matching_rows=matching,
-                    latency_ns=request.metrics.latency_ns + epilogue.latency_ns,
-                    energy_j=request.metrics.energy_j + epilogue.energy_j,
-                    breakdown={
-                        "scan_ns": request.metrics.latency_ns,
-                        "epilogue_ns": epilogue.latency_ns,
-                    },
-                )
-            )
-            batch.energy_j += request.metrics.energy_j + epilogue.energy_j
-        batch.serial_latency_ns = (
-            service_batch.metrics.serial_latency_ns + epilogue_serial_ns
-        )
-        batch.latency_ns = service_batch.metrics.latency_ns + epilogue_serial_ns
+    def _scan_query_batch_impl(
+        self, scans, backend: ScanBackend, functional: bool = False
+    ) -> BatchQueryResult:
+        session = self._one_shot_session(backend, size=len(scans), functional=functional)
+        futures = [
+            session.scan(column, kind, *constants) for column, kind, constants in scans
+        ]
+        session.drain()
+        report = session.report("scan_query_batch")
+        batch = self._assemble_batch(backend, futures, report.details)
+        self._release_shim_session(session)
         return batch
 
     def range_count_query_batch(
@@ -344,48 +471,46 @@ class QueryEngine:
         backend: ScanBackend,
         functional: bool = False,
     ) -> BatchQueryResult:
-        """Batched ``SELECT COUNT(*) WHERE low <= col <= high`` queries."""
-        scans = [(column, "between", (low, high)) for column, low, high in ranges]
-        return self.scan_query_batch(scans, backend, functional=functional)
+        """Batched ``SELECT COUNT(*) WHERE low <= col <= high`` queries.
 
-    def bitmap_conjunction_query(
-        self,
-        index: BitmapIndex,
-        predicates,
-        backend: ScanBackend,
-    ) -> QueryResult:
-        """``SELECT COUNT(*) WHERE col1 IN (...) AND col2 IN (...)`` query."""
-        result, plan = index.evaluate_conjunction(predicates)
-        return self.execute_scan(result, plan, index.num_rows, backend)
+        .. deprecated:: submit ``PimSession.range_count`` futures instead.
+        """
+        self._warn_deprecated("range_count_query_batch", "PimSession.range_count")
+        scans = [(column, "between", (low, high)) for column, low, high in ranges]
+        return self._scan_query_batch_impl(scans, backend, functional=functional)
 
     # ------------------------------------------------------------------
-    # Service-pipeline lowering hooks and entry points
+    # Lowering hooks (delegate to the shared plan IR)
     # ------------------------------------------------------------------
     def lower_scan(self, column: BitWeavingColumn, kind: str, constants) -> "ScanRequest":
         """Lower one predicate scan to a primitive service request.
 
-        The service planner's latency model and the executor share the
-        request's cached (result, plan) evaluation, so lowering here means
-        the scan is priced exactly as :meth:`ambit_scan_cost` prices it.
+        Delegates to the shared plan IR (:class:`repro.api.plans
+        .ScanSpec`).  The service planner's latency model and the executor
+        share the request's cached (result, plan) evaluation, so lowering
+        here means the scan is priced exactly as :meth:`ambit_scan_cost`
+        prices it.
         """
-        from repro.service.requests import ScanRequest  # local: avoid cycle
+        from repro.api.plans import ScanSpec  # local: avoid cycle
 
-        return ScanRequest(column=column, kind=kind, constants=tuple(constants))
+        return ScanSpec(column=column, kind=kind, constants=tuple(constants)).to_request()
 
     def lower_conjunction(self, index: BitmapIndex, predicates) -> "BitmapConjunctionRequest":
         """Lower a bitmap conjunction to a high-level service request.
 
-        The planner expands it into the OR/AND chain of primitive bulk
-        operations via :meth:`BitmapIndex.lower_conjunction`; the chain's
+        Delegates to the shared plan IR (:class:`repro.api.plans
+        .ConjunctionSpec`).  The planner expands it into the OR/AND chain
+        of primitive bulk operations via
+        :func:`repro.api.plans.lower_conjunction_steps`; the chain's
         charged cost equals :meth:`ambit_scan_cost` of the conjunction's
         :class:`BitmapPlan`.
         """
-        from repro.service.requests import BitmapConjunctionRequest  # local: avoid cycle
+        from repro.api.plans import ConjunctionSpec  # local: avoid cycle
 
-        return BitmapConjunctionRequest(
+        return ConjunctionSpec(
             index=index,
             predicates=tuple((column, tuple(values)) for column, values in predicates),
-        )
+        ).to_request()
 
     def scan_query_pipeline(
         self,
@@ -400,18 +525,16 @@ class QueryEngine:
     ) -> Tuple[BatchQueryResult, "QueueMetrics"]:
         """Serve predicate scans through the admission-controlled pipeline.
 
+        .. deprecated:: build a ``PimSession`` over the frontend and use
+           ``session.submit_stream`` + ``session.report`` instead.
+
         Scans arrive as a Poisson process at ``rate_per_s`` (starting at
         the frontend's current virtual clock) and are shaped into batches
         by the service frontend.  On the Ambit backend the batches overlap
         across banks; on the CPU backend requests are served one at a time
-        in arrival order (a single host core offers no overlap), through
-        the same queueing accounting.  Per-query matching counts, scan
-        values, and total energy are identical to sequential execution on
-        either backend.
-
-        Host epilogues (popcount + materialization) stay serial on the CPU
-        and are charged into the query latencies and batch totals; waits
-        and sojourns cover the scan service itself.
+        in arrival order through the same queueing accounting.  Per-query
+        matching counts, scan values, and total energy are identical to
+        sequential execution on either backend.
 
         Args:
             functional: Execute on the simulated banks.  None (the
@@ -422,37 +545,57 @@ class QueryEngine:
         Returns:
             (batched query results, queueing metrics).
         """
-        from repro.service.executor import BatchExecutor  # local: avoid cycle
-        from repro.service.frontend import (
-            ServiceFrontend,
-            poisson_schedule,
-            summarize_records,
+        self._warn_deprecated(
+            "scan_query_pipeline", "PimSession.submit_stream + PimSession.report"
         )
+        from repro.api.session import PimSession  # local: avoid cycle
+        from repro.service.frontend import poisson_schedule  # local: avoid cycle
 
-        requests = [self.lower_scan(column, kind, constants) for column, kind, constants in scans]
+        requests = [
+            self.lower_scan(column, kind, constants) for column, kind, constants in scans
+        ]
 
         if backend is ScanBackend.CPU:
+            session = self._one_shot_session(backend)
             events = poisson_schedule(
                 requests,
                 rate_per_s=rate_per_s,
                 seed=seed,
                 priorities=priorities,
                 deadline_slack_ns=deadline_slack_ns,
+                # The cached host backend's clock keeps advancing across
+                # calls; arrivals stamped before it would be charged
+                # phantom waits.
+                start_ns=session.backend.clock_ns,
             )
-            return self._cpu_pipeline(scans, events)
+            futures = session.submit_stream(events)
+            report = session.report("scan_query_pipeline_cpu")
+            batch = self._assemble_batch(backend, futures, report.details)
+            self._release_shim_session(session)
+            return batch, report.details
 
         local_frontend = frontend is None
         if local_frontend:
-            # The default frontend admits the whole workload; callers that
-            # want admission control (bounded queue / occupancy) pass their
-            # own and read the rejections off the returned metrics.
-            frontend = ServiceFrontend(
-                executor=BatchExecutor(engine=self.ambit),
-                max_queue_depth=max(64, len(scans)),
+            # The default (cached) frontend admits the whole workload;
+            # callers that want admission control (bounded queue /
+            # occupancy) pass their own and read the rejections off the
+            # returned metrics.
+            from repro.service.planner import BatchPolicy  # local: avoid cycle
+
+            session = PimSession(
+                self._shim_backend(ScanBackend.AMBIT), coster=self
             )
-        # Arrivals start at the frontend's clock: on a reused frontend,
-        # stamping them at t=0 would count all prior traffic as wait time
-        # and void every arrival-relative deadline.
+            frontend = session.backend
+            frontend.max_queue_depth = max(64, len(scans))
+            frontend.planner.policy.max_batch = BatchPolicy().max_batch
+            frontend.functional = False  # the built-in default; see below
+        else:
+            # The session snapshots the reused frontend, so the report
+            # covers this call only.  Arrivals start at the frontend's
+            # clock: stamping them at t=0 on a reused frontend would count
+            # all prior traffic as wait time and void arrival-relative
+            # deadlines.
+            session = PimSession(frontend, coster=self)
         events = poisson_schedule(
             requests,
             rate_per_s=rate_per_s,
@@ -461,116 +604,22 @@ class QueryEngine:
             deadline_slack_ns=deadline_slack_ns,
             start_ns=frontend.clock_ns,
         )
-        # Snapshot a reused frontend so the report covers this call only —
-        # and restore its functional flag, which this call merely borrows.
-        records_before = len(frontend.records)
-        busy_before = frontend.busy_ns
-        clock_before = frontend.clock_ns
-        batches_before = len(frontend.batches)
+        # Restore the functional flag, which this call merely borrows.
         prior_functional = frontend.functional
         if functional is not None:
             frontend.functional = functional
         try:
-            frontend.run(events, name="scan_query_pipeline")
+            futures = session.submit_stream(events)
+            session.drain()
         finally:
             frontend.functional = prior_functional
+        report = session.report("scan_query_pipeline")
+        batch = self._assemble_batch(
+            backend, futures, report.details, request_indices=True
+        )
         if local_frontend:
-            frontend.executor.pool.drain()  # one-shot executor: hand the rows back
-
-        metrics = summarize_records(
-            "scan_query_pipeline",
-            frontend.records[records_before:],
-            makespan_ns=frontend.clock_ns - clock_before,
-            busy_ns=frontend.busy_ns - busy_before,
-            batches=len(frontend.batches) - batches_before,
-        )
-        by_request = {id(record.request): record for record in frontend.records}
-        entries = []
-        for i, (column, _kind, _constants) in enumerate(scans):
-            record = by_request[id(requests[i])]
-            if record.completed:
-                entries.append((i, column.num_rows, record))
-        batch = self._assemble_pipeline_batch(backend, entries, metrics)
-        return batch, metrics
-
-    def _assemble_pipeline_batch(
-        self, backend: ScanBackend, entries, metrics: "QueueMetrics"
-    ) -> BatchQueryResult:
-        """Map completed pipeline records to per-query results + totals.
-
-        Args:
-            backend: Backend the scans executed on.
-            entries: (request_index, num_rows, record) per completed record,
-                in submission order.
-            metrics: This call's queueing summary (supplies the scan-side
-                serial and overlapped latencies).
-
-        Rejected requests produce no entry: ``batch.request_indices`` keeps
-        the result-to-query mapping intact across the gaps.
-        """
-        batch = BatchQueryResult()
-        epilogue_serial_ns = 0.0
-        for request_index, num_rows, record in entries:
-            matching = BitmapIndex.count(record.value, num_rows)
-            epilogue = self.epilogue_cost(num_rows, matching)
-            epilogue_serial_ns += epilogue.latency_ns
-            batch.results.append(
-                QueryResult(
-                    backend=backend,
-                    matching_rows=matching,
-                    latency_ns=record.metrics.latency_ns + epilogue.latency_ns,
-                    energy_j=record.metrics.energy_j + epilogue.energy_j,
-                    breakdown={
-                        "scan_ns": record.metrics.latency_ns,
-                        "epilogue_ns": epilogue.latency_ns,
-                    },
-                )
-            )
-            batch.request_indices.append(request_index)
-            batch.energy_j += record.metrics.energy_j + epilogue.energy_j
-        batch.serial_latency_ns = metrics.serial_latency_ns + epilogue_serial_ns
-        batch.latency_ns = metrics.busy_ns + epilogue_serial_ns
-        return batch
-
-    def _cpu_pipeline(self, scans, events) -> Tuple[BatchQueryResult, "QueueMetrics"]:
-        """FIFO single-server queue over the CPU scan backend."""
-        from repro.analysis.metrics import QueueMetrics
-
-        batch = BatchQueryResult()
-        waits: List[float] = []
-        sojourns: List[float] = []
-        now = 0.0
-        busy = 0.0
-        for event, (column, kind, constants) in sorted(
-            zip(events, scans), key=lambda pair: pair[0].arrival_ns
-        ):
-            result_bits, plan = column.scan(kind, *constants)
-            query = self.execute_scan(result_bits, plan, column.num_rows, ScanBackend.CPU)
-            start = max(now, event.arrival_ns)
-            scan_ns = query.breakdown["scan_ns"]
-            finish = start + scan_ns
-            now = finish
-            busy += scan_ns
-            waits.append(start - event.arrival_ns)
-            sojourns.append(finish - event.arrival_ns)
-            batch.results.append(query)
-            batch.serial_latency_ns += query.latency_ns
-            batch.latency_ns += query.latency_ns
-            batch.energy_j += query.energy_j
-        metrics = QueueMetrics.from_samples(
-            "scan_query_pipeline_cpu",
-            wait_ns=waits,
-            sojourn_ns=sojourns,
-            offered=len(batch.results),
-            admitted=len(batch.results),
-            completed=len(batch.results),
-            makespan_ns=now,
-            busy_ns=busy,
-            serial_latency_ns=sum(q.breakdown["scan_ns"] for q in batch.results),
-            energy_j=batch.energy_j,
-            batches=len(batch.results),
-        )
-        return batch, metrics
+            self._release_shim_session(session)
+        return batch, report.details
 
     def bitmap_conjunction_query_batch(
         self,
@@ -581,6 +630,8 @@ class QueryEngine:
     ) -> BatchQueryResult:
         """Batched bitmap-conjunction queries through the service pipeline.
 
+        .. deprecated:: submit ``PimSession.conjunction`` futures instead.
+
         On the Ambit backend each conjunction is lowered to its OR/AND
         chain of primitive bulk operations and executed through the batch
         pipeline (chains of different conjunctions may overlap across
@@ -588,31 +639,15 @@ class QueryEngine:
         latencies, and energies are identical to
         :meth:`bitmap_conjunction_query`.
         """
-        from repro.service.executor import BatchExecutor  # local: avoid cycle
-        from repro.service.frontend import ServiceFrontend, trace_schedule
-
-        batch = BatchQueryResult()
-        if backend is ScanBackend.CPU:
-            for predicates in conjunctions:
-                query = self.bitmap_conjunction_query(index, predicates, backend)
-                batch.results.append(query)
-                batch.serial_latency_ns += query.latency_ns
-                batch.latency_ns += query.latency_ns
-                batch.energy_j += query.energy_j
-            return batch
-
-        frontend = ServiceFrontend(
-            executor=BatchExecutor(engine=self.ambit),
-            max_queue_depth=max(64, len(conjunctions)),
-            functional=functional,
+        self._warn_deprecated("bitmap_conjunction_query_batch", "PimSession.conjunction")
+        session = self._one_shot_session(
+            backend, size=len(conjunctions), functional=functional, single_batch=False
         )
-        requests = [self.lower_conjunction(index, predicates) for predicates in conjunctions]
-        pipeline = frontend.run(
-            trace_schedule(requests, [0.0] * len(requests)), name="bitmap_conjunctions"
+        futures = [session.conjunction(index, predicates) for predicates in conjunctions]
+        session.drain()
+        report = session.report("bitmap_conjunctions")
+        batch = self._assemble_batch(
+            backend, futures, report.details, request_indices=(backend is ScanBackend.AMBIT)
         )
-        frontend.executor.pool.drain()  # one-shot executor: hand the rows back
-
-        entries = [
-            (i, index.num_rows, record) for i, record in enumerate(pipeline.records)
-        ]
-        return self._assemble_pipeline_batch(backend, entries, pipeline.metrics)
+        self._release_shim_session(session)
+        return batch

@@ -8,21 +8,28 @@ later (with optional seeded jitter to de-synchronize retry storms), up to
 ``max_attempts`` total tries.  The deadline, priority, and the request
 itself are preserved across attempts — only the arrival time moves.
 
-The client drives any frontend that speaks the ``offer`` /
-``advance_to`` / ``drain`` / ``result`` protocol, i.e. both the
-single-device :class:`~repro.service.frontend.ServiceFrontend` and the
-sharded :class:`~repro.cluster.frontend.ClusterFrontend`.
+The client drives anything that speaks the
+:class:`~repro.api.backends.Backend` protocol (``offer`` /
+``advance_to`` / ``drain`` / ``result``) — the single-device
+:class:`~repro.service.frontend.ServiceFrontend`, the sharded
+:class:`~repro.cluster.frontend.ClusterFrontend`, the serial
+:class:`~repro.api.backends.HostBackend` — or a
+:class:`~repro.api.session.PimSession` wrapping any of them.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.service.frontend import ArrivalEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import Backend
+    from repro.api.session import PimSession
 
 
 @dataclass
@@ -126,18 +133,32 @@ class RetryOutcome:
 
 
 class RetryClient:
-    """Drives a frontend, re-offering rejected requests after backoff.
+    """Drives a backend, re-offering rejected requests after backoff.
 
     Args:
-        frontend: Any object with ``offer``/``advance_to``/``drain``/
-            ``result`` (a :class:`ServiceFrontend` or a
-            :class:`~repro.cluster.frontend.ClusterFrontend`).
+        frontend: Any :class:`~repro.api.backends.Backend` — a
+            :class:`ServiceFrontend`, a
+            :class:`~repro.cluster.frontend.ClusterFrontend`, a
+            :class:`~repro.api.backends.HostBackend` — or a
+            :class:`~repro.api.session.PimSession`, whose backend is
+            driven directly (the session's own futures/report stay
+            consistent, since both share the backend's records).
         policy: Backoff schedule (defaults to 5 µs doubling, 4 attempts).
         seed: Seed of the jitter draws.
     """
 
-    def __init__(self, frontend, policy: Optional[BackoffPolicy] = None, seed: int = 0) -> None:
-        self.frontend = frontend
+    def __init__(
+        self,
+        frontend: Union["Backend", "PimSession"],
+        policy: Optional[BackoffPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        from repro.api.session import PimSession  # local: avoid cycle
+
+        # A PimSession wraps its backend; unwrap it explicitly.  Any
+        # other object — including custom Backend decorators that happen
+        # to carry a `backend` attribute — is driven as given.
+        self.frontend = frontend.backend if isinstance(frontend, PimSession) else frontend
         self.policy = policy or BackoffPolicy()
         self._rng = np.random.default_rng(seed)
 

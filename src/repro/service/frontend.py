@@ -50,7 +50,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.metrics import QueueMetrics
+from repro.analysis.metrics import QueueMetrics, summarize_queue_records
 from repro.service.executor import BatchExecutor
 from repro.service.planner import BatchPlanner, BatchPolicy
 from repro.service.requests import BatchResult, FrontendRequest, QueuedRequest
@@ -169,26 +169,14 @@ def summarize_records(
     """Queueing summary over a window of request envelopes.
 
     Used by :meth:`ServiceFrontend.result` over the frontend's lifetime
-    and by per-call entry points (e.g.
-    :meth:`QueryEngine.scan_query_pipeline`) over just their own records,
-    so a reused frontend never folds earlier traffic into a later report.
+    and by per-session reporting (:meth:`repro.api.session.PimSession
+    .report`) over just one session's records, so a reused frontend never
+    folds earlier traffic into a later report.  The roll-up arithmetic is
+    shared with the cluster tier in
+    :func:`repro.analysis.metrics.summarize_envelopes`.
     """
-    completed = [r for r in records if r.completed]
-    return QueueMetrics.from_samples(
-        name,
-        wait_ns=[r.wait_ns for r in completed],
-        sojourn_ns=[r.sojourn_ns for r in completed],
-        offered=len(records),
-        admitted=sum(1 for r in records if r.admitted),
-        rejected=sum(1 for r in records if not r.admitted),
-        shed=sum(1 for r in records if r.rejected_reason == "shed"),
-        completed=len(completed),
-        deadline_misses=sum(1 for r in completed if r.deadline_missed),
-        makespan_ns=makespan_ns,
-        busy_ns=busy_ns,
-        serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
-        energy_j=sum(r.metrics.energy_j for r in completed),
-        batches=batches,
+    return summarize_queue_records(
+        name, records, makespan_ns=makespan_ns, busy_ns=busy_ns, batches=batches
     )
 
 

@@ -207,9 +207,15 @@ class BatchPlanner:
     def _lower_conjunction(
         self, queued: QueuedRequest, primitives: List[ServiceRequest]
     ) -> LoweredGroup:
+        from repro.api.plans import lower_conjunction_steps  # local: avoid cycle
+
         request = queued.request
         index = request.index
-        steps, result_vector, plan = index.lower_conjunction(
+        # One lowering path for every tier: the shared plan IR expands the
+        # chain identically whether `index` is a full BitmapIndex (service
+        # tier) or a shard view (each cluster shard).
+        steps, result_vector, plan = lower_conjunction_steps(
+            index,
             request.predicates,
             # The executor charges each step from the vectors' row-chunk
             # count: lower at the device's row size or the analytical cost

@@ -1,0 +1,538 @@
+"""Tests for the unified client API (`repro.api`).
+
+The load-bearing acceptance property: one seeded mixed workload (scans +
+conjunctions + range counts) submitted through :class:`PimSession`
+returns bit-exact results and a consistent :class:`Response` shape
+whether the backend is a single-device :class:`ServiceFrontend`, an
+N-shard :class:`ClusterFrontend`, or the serial :class:`HostBackend`.
+Around it: the ``Backend`` protocol surface, future semantics
+(rejection, windowed sessions, lazy drain), the host-side gather merge
+cost, and the deprecation shims over the legacy ``QueryEngine`` entry
+points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ambit.engine import AmbitConfig, AmbitEngine
+from repro.api import (
+    Backend,
+    ClusterDetails,
+    ConjunctionSpec,
+    HostBackend,
+    HostDetails,
+    PimSession,
+    RequestRejected,
+    ScanSpec,
+    ServiceDetails,
+    lower_conjunction_steps,
+    spec_for_request,
+)
+from repro.cluster import ClusterFrontend, ShardRouter
+from repro.database.bitmap_index import BitmapIndex
+from repro.database.bitweaving import BitWeavingColumn
+from repro.database.queries import QueryEngine, ScanBackend
+from repro.database.tables import ColumnTable
+from repro.dram.device import DramDevice
+from repro.dram.energy import DramEnergyParameters
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimingParameters
+from repro.service import (
+    BatchExecutor,
+    BatchPolicy,
+    RetryClient,
+    ScanRequest,
+    ServiceFrontend,
+    poisson_schedule,
+)
+
+
+def _device(banks: int = 4) -> DramDevice:
+    geometry = DramGeometry(
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=banks,
+        subarrays_per_bank=2,
+        rows_per_subarray=32,
+        row_size_bytes=64,
+    )
+    return DramDevice(
+        geometry, DramTimingParameters.ddr3_1600(), DramEnergyParameters.ddr3_1600()
+    )
+
+
+def _engine(banks: int = 4) -> AmbitEngine:
+    return AmbitEngine(
+        _device(banks), AmbitConfig(banks_parallel=banks, vectorized_functional=True)
+    )
+
+
+def _service_session(**kwargs) -> PimSession:
+    return PimSession(
+        ServiceFrontend(executor=BatchExecutor(engine=_engine()), **kwargs)
+    )
+
+
+def _cluster_session(num_shards: int, **kwargs) -> PimSession:
+    kwargs.setdefault("engine_factory", lambda: _engine())
+    kwargs.setdefault("policy", BatchPolicy(max_batch=3))
+    return PimSession(ClusterFrontend(num_shards=num_shards, **kwargs))
+
+
+def _random_column(rng, num_bits: int = 6, rows: int = 200) -> BitWeavingColumn:
+    return BitWeavingColumn(rng.integers(0, 1 << num_bits, size=rows), num_bits)
+
+
+def _bitmap_index(rng, rows: int = 400) -> BitmapIndex:
+    table = ColumnTable("t", rows)
+    table.add_column("region", rng.integers(0, 8, size=rows), cardinality=8)
+    table.add_column("status", rng.integers(0, 4, size=rows), cardinality=4)
+    table.add_column("tier", rng.integers(0, 3, size=rows), cardinality=3)
+    return BitmapIndex(table, ["region", "status", "tier"])
+
+
+def _mixed_workload(session: PimSession, columns, index, constants, num_bits):
+    """Submit the canonical seeded mix: scans + range counts + conjunctions."""
+    kinds = ["less_than", "less_equal", "equal"]
+    futures = []
+    for i, constant in enumerate(constants):
+        constant %= 1 << num_bits
+        column = columns[i % len(columns)]
+        if i % 3 == 2:
+            high = max(constant, (1 << num_bits) - 1 - constant)
+            futures.append(session.range_count(column, min(constant, high), high))
+        else:
+            futures.append(session.scan(column, kinds[i % len(kinds)], constant))
+    futures.append(
+        session.conjunction(index, [("region", (1, 2, 3)), ("status", (0, 1)), ("tier", (0, 2))])
+    )
+    futures.append(session.conjunction(index, [("region", (0,)), ("tier", (1,))]))
+    return futures
+
+
+class TestBackendProtocol:
+    def test_all_tiers_speak_the_protocol(self):
+        assert isinstance(ServiceFrontend(executor=BatchExecutor(engine=_engine())), Backend)
+        assert isinstance(
+            ClusterFrontend(num_shards=2, engine_factory=lambda: _engine()), Backend
+        )
+        assert isinstance(HostBackend(), Backend)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_shards=st.sampled_from([1, 2, 4]),
+        num_bits=st.integers(2, 6),
+        rows=st.integers(20, 300),
+        seed=st.integers(0, 2**16),
+        constants=st.lists(st.integers(0, 63), min_size=1, max_size=5),
+    )
+    def test_service_and_cluster_sessions_bit_exact(
+        self, num_shards, num_bits, rows, seed, constants
+    ):
+        """Acceptance: the same seeded mixed workload through PimSession
+        over a ServiceFrontend and over an N-shard ClusterFrontend returns
+        bit-exact values and consistent Response metadata."""
+        rng = np.random.default_rng(seed)
+        columns = [_random_column(rng, num_bits, rows) for _ in range(3)]
+        index = _bitmap_index(rng, rows=rows)
+
+        service = _service_session(policy=BatchPolicy(max_batch=3))
+        cluster = _cluster_session(
+            num_shards, router=ShardRouter(num_shards, replication_factor=1)
+        )
+        service_futures = _mixed_workload(service, columns, index, constants, num_bits)
+        cluster_futures = _mixed_workload(cluster, columns, index, constants, num_bits)
+
+        for sf, cf in zip(service_futures, cluster_futures):
+            sr, cr = sf.result(), cf.result()
+            assert sr.status == cr.status == "completed"
+            assert sr.kind == cr.kind
+            assert np.array_equal(sr.value, cr.value)
+            assert sr.matching_rows == cr.matching_rows
+            # The host epilogue prices identically on both tiers; the scan
+            # side may differ only for scattered conjunctions (device ANDs
+            # replaced by host merges).
+            assert sr.breakdown["epilogue_ns"] == pytest.approx(cr.breakdown["epilogue_ns"])
+            if sr.kind != "conjunction":
+                assert sr.breakdown["scan_ns"] == pytest.approx(cr.breakdown["scan_ns"])
+                assert sr.energy_j == pytest.approx(cr.energy_j)
+            assert isinstance(sr.details, ServiceDetails)
+            assert isinstance(cr.details, ClusterDetails)
+            assert 1 <= cr.details.fanout <= num_shards
+
+        service_report = service.report()
+        cluster_report = cluster.report()
+        assert service_report.tier == "service"
+        assert cluster_report.tier == "cluster"
+        assert service_report.completed == cluster_report.completed == len(service_futures)
+        assert service_report.rejected == cluster_report.rejected == 0
+        assert cluster_report.details.shards == num_shards
+
+    def test_host_session_matches_service_values(self):
+        rng = np.random.default_rng(3)
+        columns = [_random_column(rng) for _ in range(3)]
+        index = _bitmap_index(rng)
+        host = PimSession.over_host()
+        service = _service_session()
+        for session in (host, service):
+            _mixed_workload(session, columns, index, [5, 17, 40], 6)
+        for hf, sf in zip(host.futures, service.futures):
+            hr, sr = hf.response(), sf.response()
+            assert np.array_equal(hr.value, sr.value)
+            assert hr.matching_rows == sr.matching_rows
+            assert isinstance(hr.details, HostDetails)
+        assert host.report().tier == "host"
+        assert host.report().completed == len(host.futures)
+
+
+class TestFutureSemantics:
+    def test_result_drains_lazily(self):
+        rng = np.random.default_rng(4)
+        session = _service_session(policy=BatchPolicy(max_batch=8))
+        future = session.scan(_random_column(rng), "less_than", 9)
+        assert not future.done()
+        assert future.status == "queued"
+        response = future.result()  # drains the backend
+        assert future.done() and future.status == "completed"
+        expected, _ = future.request.column.scan("less_than", 9)
+        assert np.array_equal(response.value, expected)
+        assert response.latency_ns == pytest.approx(
+            response.breakdown["scan_ns"] + response.breakdown["epilogue_ns"]
+        )
+        assert response.sojourn_ns == pytest.approx(future.sojourn_ns)
+
+    def test_rejected_future_raises(self):
+        rng = np.random.default_rng(5)
+        session = _service_session(max_queue_depth=1)
+        kept = session.scan(_random_column(rng), "less_than", 3)
+        refused = session.scan(_random_column(rng), "less_than", 3)
+        assert refused.status == "rejected"
+        with pytest.raises(RequestRejected) as excinfo:
+            refused.result()
+        assert excinfo.value.reason == "queue_full"
+        assert refused.response().status == "rejected"
+        assert kept.result().status == "completed"
+
+    def test_windowed_reports_on_a_shared_backend(self):
+        """Two sessions over one frontend report only their own traffic —
+        counts AND time-based fields (makespan, busy, batches)."""
+        rng = np.random.default_rng(6)
+        frontend = ServiceFrontend(executor=BatchExecutor(engine=_engine()))
+        first = PimSession(frontend, name="first")
+        first.scan(_random_column(rng), "less_than", 7)
+        first.drain()
+        first_report = first.report()
+        second = PimSession(frontend, name="second")
+        for _ in range(4):
+            second.scan(_random_column(rng), "equal", 7)
+        second.drain()
+        assert first_report.offered == 1
+        assert second.report().offered == 4
+        assert second.report().completed == 4
+        assert frontend.result().metrics.completed == 5
+        # Session B's traffic never leaks into A's time-based fields: a
+        # report taken *after* B ran equals the one taken before.
+        late_first_report = first.report()
+        assert late_first_report.busy_ns == pytest.approx(first_report.busy_ns)
+        assert late_first_report.makespan_ns == pytest.approx(first_report.makespan_ns)
+        assert late_first_report.details.batches == first_report.details.batches == 1
+        # And B's window starts at its own clock origin, excluding A.
+        own_record = second.futures[0].record
+        assert second.report().busy_ns == pytest.approx(
+            sum(
+                frontend.batches[i].metrics.latency_ns
+                for i in {f.record.batch_index for f in second.futures}
+            )
+        )
+        assert second.report().makespan_ns == pytest.approx(
+            max(f.record.finish_ns for f in second.futures) - own_record.arrival_ns
+        )
+
+    def test_interleaved_sessions_apportion_shared_batches(self):
+        """Two sessions whose requests land in ONE batch split its busy
+        time instead of each counting the batch in full."""
+        rng = np.random.default_rng(61)
+        frontend = ServiceFrontend(
+            executor=BatchExecutor(engine=_engine()), policy=BatchPolicy(max_batch=64)
+        )
+        first = PimSession(frontend, name="first")
+        second = PimSession(frontend, name="second")
+        for _ in range(2):
+            first.scan(_random_column(rng), "less_than", 9)
+            second.scan(_random_column(rng), "equal", 3)
+        frontend.drain()  # one shared batch serves all four scans
+        assert len(frontend.batches) == 1
+        total = frontend.busy_ns
+        split = first.report().busy_ns + second.report().busy_ns
+        assert split == pytest.approx(total)
+        assert 0.0 < first.report().busy_ns < total
+
+    def test_windowed_reports_on_a_shared_cluster(self):
+        """The cluster tier windows both report ends too: another
+        session's traffic moves neither makespan nor busy time."""
+        rng = np.random.default_rng(60)
+        cluster = ClusterFrontend(
+            num_shards=2, engine_factory=lambda: _engine(), policy=BatchPolicy(max_batch=2)
+        )
+        first = PimSession(cluster, name="first")
+        first.scan(_random_column(rng), "less_than", 9)
+        first.drain()
+        first_report = first.report()
+        second = PimSession(cluster, name="second")
+        for _ in range(4):
+            second.scan(_random_column(rng), "equal", 3)
+        second.drain()
+        late_first_report = first.report()
+        assert late_first_report.offered == 1
+        assert late_first_report.busy_ns == pytest.approx(first_report.busy_ns)
+        assert late_first_report.makespan_ns == pytest.approx(first_report.makespan_ns)
+        assert second.report().offered == 4
+        assert second.report().makespan_ns < cluster.clock_ns
+
+    def test_submit_stream_and_raw_requests(self):
+        rng = np.random.default_rng(7)
+        session = _service_session(policy=BatchPolicy(max_batch=2))
+        requests = [
+            ScanRequest(column=_random_column(rng), kind="less_than", constants=(c,))
+            for c in (3, 9, 30)
+        ]
+        futures = session.submit_stream(poisson_schedule(requests, rate_per_s=1e6, seed=7))
+        responses = session.responses()
+        assert len(responses) == len(futures) == len(requests)
+        for request, response in zip(requests, responses):
+            expected, _ = request.column.scan(request.kind, *request.constants)
+            assert np.array_equal(response.value, expected)
+            assert response.kind == "scan"
+
+    def test_retry_client_accepts_a_session(self):
+        rng = np.random.default_rng(8)
+        session = _service_session(
+            max_queue_depth=2, policy=BatchPolicy(max_batch=2)
+        )
+        requests = [
+            ScanRequest(column=_random_column(rng), kind="less_than", constants=(c,))
+            for c in range(8)
+        ]
+        events = poisson_schedule(requests, rate_per_s=1e9, seed=8)
+        outcome = RetryClient(session).run(events)
+        assert outcome.delivered > 0
+        assert outcome.result.metrics.completed == outcome.delivered
+
+
+class TestPlanIR:
+    def test_specs_validate(self):
+        rng = np.random.default_rng(9)
+        column = _random_column(rng)
+        with pytest.raises(ValueError):
+            ScanSpec(column=column, kind="nope", constants=(1,))
+        with pytest.raises(ValueError):
+            ScanSpec(column=column, kind="between", constants=(1,))
+        with pytest.raises(ValueError):
+            ConjunctionSpec(index=_bitmap_index(rng), predicates=())
+        with pytest.raises(TypeError):
+            spec_for_request(object())
+
+    def test_spec_round_trip_preserves_requests(self):
+        rng = np.random.default_rng(10)
+        column = _random_column(rng)
+        spec = ScanSpec(column=column, kind="between", constants=(3, 17))
+        request = spec.to_request()
+        assert spec_for_request(request) == spec
+        expected, _ = spec.evaluate()
+        got, _ = request.scan_result()
+        assert np.array_equal(got, expected)
+
+    def test_shared_lowering_matches_evaluate_on_index_and_view(self):
+        """One code path: the IR lowers a full index and a shard view
+        identically, and the chain's final vector equals evaluate()."""
+        rng = np.random.default_rng(11)
+        index = _bitmap_index(rng)
+        predicates = [("region", (1, 2)), ("status", (0, 1))]
+        expected, plan = index.evaluate_conjunction(predicates)
+        for source in (index, index.shard_view(["region", "status"])):
+            steps, result, lowered_plan = lower_conjunction_steps(
+                source, predicates, row_size_bytes=64
+            )
+            assert lowered_plan.total_operations == plan.total_operations
+            for op, a, b, out in steps:
+                np_op = np.bitwise_or if op == "or" else np.bitwise_and
+                out.data[:] = np_op(a.data, b.data)
+            packed = (index.num_rows + 7) // 8
+            assert np.array_equal(result.data[:packed], expected)
+
+    def test_view_lowering_stays_local(self):
+        rng = np.random.default_rng(12)
+        index = _bitmap_index(rng)
+        view = index.shard_view(["region"])
+        with pytest.raises(KeyError):
+            lower_conjunction_steps(view, [("status", (0,))])
+
+
+class TestGatherMergeCost:
+    def test_scattered_conjunction_charges_host_merges(self):
+        rng = np.random.default_rng(13)
+        index = _bitmap_index(rng)
+        # One indexed column per shard: the conjunction must scatter.
+        cluster = ClusterFrontend(
+            num_shards=3,
+            router=ShardRouter(3, strategy="range"),
+            engine_factory=lambda: _engine(),
+        )
+        cluster.router.register_names(index.indexed_columns())
+        session = PimSession(cluster)
+        future = session.conjunction(
+            index, [("region", (1, 2)), ("status", (0, 1)), ("tier", (0,))]
+        )
+        response = future.result()
+        details = response.details
+        assert details.fanout == 3
+        assert details.host_merge_ns == pytest.approx(2 * cluster.merge_ns_per_op)
+        assert cluster.merge_ns_per_op > 0.0
+        # The merge is charged into completion: the gathered finish is
+        # strictly later than the last shard part's device finish.
+        record = future.record
+        last_part_finish = max(p.finish_ns for p in record.parts)
+        assert record.finish_ns == pytest.approx(last_part_finish + details.host_merge_ns)
+        report = session.report()
+        assert report.details.merge_ops == 2
+        assert report.details.host_merge_ns == pytest.approx(details.host_merge_ns)
+        # The stream is not over until the host has merged: the makespan
+        # covers the gathered finish, so sojourns never exceed it.
+        assert report.makespan_ns >= record.finish_ns
+        assert report.sojourn_p99_ns <= report.makespan_ns + 1e-9
+
+    def test_merge_cost_knob_can_be_disabled(self):
+        rng = np.random.default_rng(14)
+        index = _bitmap_index(rng)
+        cluster = ClusterFrontend(
+            num_shards=3,
+            router=ShardRouter(3, strategy="range"),
+            engine_factory=lambda: _engine(),
+            merge_ns_per_op=0.0,
+        )
+        cluster.router.register_names(index.indexed_columns())
+        session = PimSession(cluster)
+        future = session.conjunction(
+            index, [("region", (1,)), ("status", (0,)), ("tier", (0,))]
+        )
+        future.result()
+        record = future.record
+        assert record.host_merge_ns == 0.0
+        assert record.finish_ns == pytest.approx(max(p.finish_ns for p in record.parts))
+        with pytest.raises(ValueError):
+            ClusterFrontend(num_shards=2, engine_factory=lambda: _engine(), merge_ns_per_op=-1.0)
+
+
+class TestDeprecationShims:
+    """The six legacy QueryEngine entry points still pass — and warn."""
+
+    @pytest.fixture
+    def query_engine(self):
+        return QueryEngine(ambit=_engine())
+
+    @pytest.fixture
+    def column(self):
+        return _random_column(np.random.default_rng(15), 8, 400)
+
+    def test_range_count_query_warns_and_matches_session(self, query_engine, column):
+        with pytest.warns(DeprecationWarning, match="range_count_query"):
+            legacy = query_engine.range_count_query(column, 20, 180, ScanBackend.AMBIT)
+        session = PimSession(
+            ServiceFrontend(executor=BatchExecutor(engine=_engine())), coster=query_engine
+        )
+        response = session.range_count(column, 20, 180).result()
+        assert legacy.matching_rows == response.matching_rows
+        assert legacy.latency_ns == pytest.approx(response.latency_ns)
+        assert legacy.energy_j == pytest.approx(response.energy_j)
+
+    def test_range_count_query_cpu_matches_plan_model(self, query_engine, column):
+        with pytest.warns(DeprecationWarning):
+            legacy = query_engine.range_count_query(column, 20, 180, ScanBackend.CPU)
+        expected, plan = column.scan_range(20, 180)
+        reference = query_engine.execute_scan(
+            expected, plan, column.num_rows, ScanBackend.CPU
+        )
+        assert legacy.matching_rows == reference.matching_rows
+        assert legacy.latency_ns == pytest.approx(reference.latency_ns)
+        assert legacy.energy_j == pytest.approx(reference.energy_j)
+
+    def test_bitmap_conjunction_query_warns(self, query_engine):
+        index = _bitmap_index(np.random.default_rng(16))
+        predicates = [("region", [1, 2]), ("status", [0])]
+        with pytest.warns(DeprecationWarning, match="bitmap_conjunction_query"):
+            cpu = query_engine.bitmap_conjunction_query(index, predicates, ScanBackend.CPU)
+        with pytest.warns(DeprecationWarning):
+            ambit = query_engine.bitmap_conjunction_query(index, predicates, ScanBackend.AMBIT)
+        expected, _ = index.evaluate_conjunction(predicates)
+        assert cpu.matching_rows == ambit.matching_rows == BitmapIndex.count(
+            expected, index.num_rows
+        )
+
+    def test_scan_query_batch_warns_and_stays_bit_exact(self, query_engine):
+        rng = np.random.default_rng(17)
+        scans = [(_random_column(rng), "less_than", (c,)) for c in (5, 20, 40)]
+        with pytest.warns(DeprecationWarning, match="scan_query_batch"):
+            batch = query_engine.scan_query_batch(scans, ScanBackend.AMBIT)
+        assert len(batch.results) == len(scans)
+        assert batch.batching_speedup >= 1.0
+        for (column, kind, constants), result in zip(scans, batch.results):
+            expected, plan = column.scan(kind, *constants)
+            assert result.matching_rows == BitmapIndex.count(expected, column.num_rows)
+            sequential = query_engine.ambit_scan_cost(plan)
+            assert result.breakdown["scan_ns"] == pytest.approx(sequential.latency_ns)
+
+    def test_range_count_query_batch_warns(self, query_engine):
+        rng = np.random.default_rng(18)
+        ranges = [(_random_column(rng), 5, 40) for _ in range(3)]
+        with pytest.warns(DeprecationWarning, match="range_count_query_batch"):
+            batch = query_engine.range_count_query_batch(ranges, ScanBackend.AMBIT)
+        assert len(batch.results) == 3
+
+    def test_scan_query_pipeline_warns(self, query_engine):
+        rng = np.random.default_rng(19)
+        scans = [(_random_column(rng), "equal", (7,)) for _ in range(3)]
+        with pytest.warns(DeprecationWarning, match="scan_query_pipeline"):
+            batch, metrics = query_engine.scan_query_pipeline(
+                scans, ScanBackend.AMBIT, rate_per_s=1e6, seed=1
+            )
+        assert metrics.completed == len(scans)
+        assert batch.request_indices == list(range(len(scans)))
+
+    def test_bitmap_conjunction_query_batch_warns(self, query_engine):
+        index = _bitmap_index(np.random.default_rng(20))
+        conjunctions = [[("region", [1, 2]), ("status", [0])], [("tier", [1])]]
+        with pytest.warns(DeprecationWarning, match="bitmap_conjunction_query_batch"):
+            batch = query_engine.bitmap_conjunction_query_batch(
+                index, conjunctions, ScanBackend.AMBIT
+            )
+        for predicates, result in zip(conjunctions, batch.results):
+            expected, _ = index.evaluate_conjunction(predicates)
+            assert result.matching_rows == BitmapIndex.count(expected, index.num_rows)
+
+    def test_internal_callers_of_shims_fail(self):
+        """The CI guard: a legacy-entry-point DeprecationWarning raised
+        from inside repro.* (an internal straggler) is an error, while
+        the same warning from a test/user module — and unrelated
+        deprecations from repro frames — stay warnings."""
+        import warnings as w
+
+        message = "QueryEngine.range_count_query is deprecated; use ..."
+        with w.catch_warnings():
+            w.filterwarnings(
+                "error",
+                message=r"QueryEngine\..+ is deprecated",
+                category=DeprecationWarning,
+                module=r"repro\..*",
+            )
+            # Same message from a non-repro caller: warning only.
+            w.warn(message, DeprecationWarning)
+            repro_frame = {"__name__": "repro.fake_module", "message": message}
+            # Unrelated deprecation from a repro frame: warning only.
+            exec("import warnings; warnings.warn('x', DeprecationWarning)", dict(repro_frame))
+            # Legacy-entry-point warning from a repro frame: error.
+            with pytest.raises(DeprecationWarning):
+                exec(
+                    "import warnings; warnings.warn(message, DeprecationWarning)",
+                    repro_frame,
+                )
