@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import os
+from typing import Any
+
 
 def emit(table_or_text) -> None:
     """Print a result table (or plain text) into the benchmark log.
@@ -11,3 +15,35 @@ def emit(table_or_text) -> None:
     """
     text = table_or_text.render() if hasattr(table_or_text, "render") else str(table_or_text)
     print("\n" + text)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars, tuples, and odd dict keys into JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` — the machine-readable perf trajectory.
+
+    One JSON file per benchmark, overwritten on every run, so CI (and any
+    tooling diffing runs over time) can track throughput, percentiles,
+    makespans, and bank idle fractions without scraping tables.  The
+    target directory defaults to the working directory and can be moved
+    with ``BENCH_JSON_DIR``.
+    """
+    directory = os.environ.get("BENCH_JSON_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    return path

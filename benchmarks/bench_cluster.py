@@ -31,7 +31,7 @@ from repro.database.tables import ColumnTable
 from repro.dram.device import DramDevice
 from repro.service import BatchPolicy, BitmapConjunctionRequest, ScanRequest, poisson_schedule
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json
 
 NUM_COLUMNS = 32                # 8+ columns per shard at every shard count
 ROWS_PER_COLUMN = 65536         # one 8 KiB DRAM row per bit vector
@@ -174,6 +174,36 @@ def test_cluster_throughput_scales_with_shards(benchmark):
     top_throughput = outcomes[SHARD_COUNTS[-1]][3]
     speedup = top_throughput / base_throughput
     emit(f"4-shard aggregate throughput is {speedup:.1f}x the 1-shard cluster")
+
+    # Machine-readable perf trajectory for CI diffing (per shard count).
+    payload = {"shard_counts": list(SHARD_COUNTS), "scaling_speedup": speedup}
+    for num_shards in SHARD_COUNTS:
+        session, _futures, report, throughput = outcomes[num_shards]
+        metrics = report.details
+        shard_lanes = [
+            shard.lane_metrics(f"shard{i}")
+            for i, shard in enumerate(session.backend.shards)
+        ]
+        payload[f"shards_{num_shards}"] = {
+            "offered": metrics.offered,
+            "completed": metrics.completed,
+            "rejected": metrics.rejected,
+            "throughput_gb_s": throughput / 1e9,
+            "sojourn_p50_us": metrics.sojourn_p50_ns / 1e3,
+            "sojourn_p99_us": metrics.sojourn_p99_ns / 1e3,
+            "makespan_ms": metrics.makespan_ns / 1e6,
+            "busy_ms": metrics.busy_ns / 1e6,
+            "mean_utilization": metrics.mean_utilization,
+            "imbalance": metrics.imbalance,
+            "host_merge_us": metrics.host_merge_ns / 1e3,
+            "bank_idle_fraction": (
+                sum(l.bank_idle_fraction for l in shard_lanes) / len(shard_lanes)
+            ),
+            "cross_batch_overlap_us": (
+                sum(l.cross_batch_overlap_ns for l in shard_lanes) / 1e3
+            ),
+        }
+    emit_json("cluster", payload)
 
     # Acceptance: >= 3x aggregate throughput at 4 shards under overload.
     assert speedup >= 3.0

@@ -23,7 +23,7 @@ from repro.analysis.tables import ResultTable
 from repro.database.bitweaving import BitWeavingColumn
 from repro.database.queries import QueryEngine
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json
 
 NUM_COLUMNS = 16
 ROWS_PER_COLUMN = 65536  # one 8 KiB DRAM row per bit vector
@@ -144,6 +144,31 @@ def test_service_frontend_poisson_throughput(benchmark, ddr3_ambit_system):
     emit(queue_table)
     emit(f"frontend-shaped throughput is {speedup:.1f}x sequential")
     metrics = session.report().details
+
+    # Machine-readable perf trajectory for CI diffing.
+    lanes = session.backend.lane_metrics("service_frontend")
+    completed = [f for f in futures if f.done()]
+    emit_json(
+        "service_frontend",
+        {
+            "offered": metrics.offered,
+            "completed": metrics.completed,
+            "rejected": metrics.rejected,
+            "batches": metrics.batches,
+            "deadline_misses": metrics.deadline_misses,
+            "throughput_gb_s": sum(f.metrics.bytes_produced for f in completed)
+            / (metrics.busy_ns * 1e-9) / 1e9,
+            "speedup_vs_sequential": speedup,
+            "wait_p50_us": metrics.wait_p50_ns / 1e3,
+            "wait_p99_us": metrics.wait_p99_ns / 1e3,
+            "sojourn_p50_us": metrics.sojourn_p50_ns / 1e3,
+            "sojourn_p99_us": metrics.sojourn_p99_ns / 1e3,
+            "makespan_ms": metrics.makespan_ns / 1e6,
+            "busy_ms": metrics.busy_ns / 1e6,
+            "bank_idle_fraction": lanes.bank_idle_fraction,
+            "cross_batch_overlap_us": lanes.cross_batch_overlap_ns / 1e3,
+        },
+    )
 
     # Acceptance: >= 6x sequential throughput from frontend-shaped batches.
     assert speedup >= 6.0

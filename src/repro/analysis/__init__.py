@@ -8,6 +8,7 @@ column (speedup, energy reduction) and a geometric-mean summary row.
 from repro.analysis.metrics import (
     BatchMetrics,
     ClusterMetrics,
+    LaneMetrics,
     OperationMetrics,
     QueueMetrics,
     arithmetic_mean,
@@ -20,6 +21,7 @@ from repro.analysis.tables import ResultTable
 __all__ = [
     "BatchMetrics",
     "ClusterMetrics",
+    "LaneMetrics",
     "OperationMetrics",
     "QueueMetrics",
     "ResultTable",

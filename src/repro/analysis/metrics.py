@@ -81,11 +81,21 @@ class BatchMetrics:
     Attributes:
         name: Label of the batch.
         requests: Number of requests in the batch.
-        latency_ns: Overlapped (scheduled) batch latency.
+        latency_ns: Overlapped (scheduled) batch latency — the batch's
+            completion horizon measured from its dispatch instant.  Under
+            lane pipelining this *includes* time spent queued behind a
+            previous batch's lane horizons.
         serial_latency_ns: Latency of executing the batch sequentially.
         energy_j: Total energy (identical to sequential execution).
         bytes_produced: Total result bytes produced.
         per_request: Metrics of each request, in submission order.
+        device_busy_ns: Device-busy time this batch *added* (the union of
+            its scheduled intervals not already covered by earlier
+            batches' lanes).  None for a batch-synchronous batch, where
+            the makespan is the busy time.
+        cross_batch_overlap_ns: Work of this batch that ran before the
+            previous batch's completion horizon (0 without pipelining) —
+            the time a barrier would have wasted.
         notes: Free-form annotation.
     """
 
@@ -96,7 +106,20 @@ class BatchMetrics:
     energy_j: float
     bytes_produced: int = 0
     per_request: List[OperationMetrics] = field(default_factory=list)
+    device_busy_ns: Optional[float] = None
+    cross_batch_overlap_ns: float = 0.0
     notes: str = ""
+
+    @property
+    def busy_ns(self) -> float:
+        """Executor busy time attributable to this batch.
+
+        The overlap-aware :attr:`device_busy_ns` when the batch was lane
+        pipelined, else the batch makespan (batch-synchronous semantics).
+        """
+        if self.device_busy_ns is not None:
+            return self.device_busy_ns
+        return self.latency_ns
 
     @property
     def latency_s(self) -> float:
@@ -116,6 +139,75 @@ class BatchMetrics:
         if self.latency_ns <= 0:
             return 0.0
         return self.bytes_produced / self.latency_s
+
+
+@dataclass
+class LaneMetrics:
+    """Per-lane utilization roll-up of a persistent lane schedule.
+
+    Produced by :meth:`repro.service.lanes.LaneSchedule.metrics` and
+    surfaced through :meth:`ServiceFrontend.lane_metrics`; quantifies how
+    well cross-batch pipelining keeps the banks busy.
+
+    Attributes:
+        name: Label of the schedule.
+        lanes: Number of lanes (active banks, plus the host lane once
+            host-only work has been scheduled).
+        span_ns: The overall completion horizon (busiest lane's busy-until).
+        busy_union_ns: Virtual time during which at least one lane was
+            busy — the honest device-busy measure for throughput math.
+        cross_batch_overlap_ns: Work that ran before the previous batch's
+            completion horizon — the time a batch barrier would have
+            wasted (0 without pipelining).
+        requests: Requests placed across the schedule's lifetime.
+        batches: Batches dispatched across the schedule's lifetime.
+        per_lane_busy_ns: Busy time per lane key (host lane included).
+        host_lane_key: Key of the host lane within ``per_lane_busy_ns``
+            (excluded from the *bank* utilization aggregates below).
+    """
+
+    name: str
+    lanes: int
+    span_ns: float
+    busy_union_ns: float
+    cross_batch_overlap_ns: float = 0.0
+    requests: int = 0
+    batches: int = 0
+    per_lane_busy_ns: Dict = field(default_factory=dict)
+    host_lane_key: object = "host"
+
+    def _bank_busy(self) -> List[float]:
+        return [
+            busy for key, busy in self.per_lane_busy_ns.items()
+            if key != self.host_lane_key
+        ]
+
+    @property
+    def per_lane_utilization(self) -> Dict:
+        """Busy fraction of the span, per lane (host lane included)."""
+        if self.span_ns <= 0.0:
+            return {key: 0.0 for key in self.per_lane_busy_ns}
+        return {key: busy / self.span_ns for key, busy in self.per_lane_busy_ns.items()}
+
+    @property
+    def mean_bank_utilization(self) -> float:
+        """Mean busy fraction across the bank lanes (host lane excluded)."""
+        busy = self._bank_busy()
+        if not busy or self.span_ns <= 0.0:
+            return 0.0
+        return sum(busy) / (len(busy) * self.span_ns)
+
+    @property
+    def bank_idle_fraction(self) -> float:
+        """Fraction of bank-lane time spent idle over the span."""
+        return 1.0 - self.mean_bank_utilization
+
+    @property
+    def device_idle_fraction(self) -> float:
+        """Fraction of the span during which *no* lane was busy."""
+        if self.span_ns <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_union_ns / self.span_ns)
 
 
 @dataclass
@@ -302,9 +394,11 @@ class ClusterMetrics:
         cross_shard_fanout: Mean number of shards a completed request
             touched (1.0 = no scatter).
         merge_ops: Host-side bitwise merges the gather stage performed.
-        host_merge_ns: Host time charged for those merges (the cluster
-            frontend's ``merge_ns_per_op`` knob times ``merge_ops``) —
-            the gather path's AND-merges are host work, not free.
+        host_merge_ns: Host time charged for those merges — the gather
+            path's AND-merges are host work, not free.  Partials merge
+            pairwise in parallel, so each record is charged
+            ``ceil(log2(fanout))`` levels of the cluster frontend's
+            ``merge_ns_per_op`` knob rather than one per merge op.
         per_shard: Each shard frontend's own queueing summary.
     """
 

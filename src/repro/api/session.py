@@ -331,11 +331,15 @@ class PimSession:
     # Construction conveniences
     # ------------------------------------------------------------------
     @classmethod
-    def over_service(cls, engine=None, coster=None, name="service_session", **kwargs) -> "PimSession":
+    def over_service(
+        cls, engine=None, coster=None, name="service_session", pipeline=True, **kwargs
+    ) -> "PimSession":
         """A session over a fresh single-device :class:`ServiceFrontend`.
 
         ``engine`` is the :class:`~repro.ambit.engine.AmbitEngine` to
-        execute on (a vectorized default is built when omitted); other
+        execute on (a vectorized default is built when omitted);
+        ``pipeline`` selects lane-pipelined vs batch-synchronous dispatch
+        (see :class:`~repro.service.executor.BatchExecutor`); other
         keyword arguments go to the frontend (``policy``,
         ``max_queue_depth``, ``max_backlog_ns``, ``functional``,
         ``shed_low_priority``).
@@ -343,7 +347,9 @@ class PimSession:
         from repro.service.executor import BatchExecutor  # local: avoid cycle
         from repro.service.frontend import ServiceFrontend  # local: avoid cycle
 
-        frontend = ServiceFrontend(executor=BatchExecutor(engine=engine), **kwargs)
+        frontend = ServiceFrontend(
+            executor=BatchExecutor(engine=engine, pipeline=pipeline), **kwargs
+        )
         return cls(frontend, coster=coster, name=name)
 
     @classmethod
@@ -572,7 +578,9 @@ class PimSession:
         completed = [r for r in records if r.completed]
         if records and self._all_terminal(records):
             return max((r.finish_ns - self._clock0 for r in completed), default=0.0)
-        return self.backend.clock_ns - self._clock0
+        # Mid-stream: cover the in-flight lane horizon, not just the
+        # dispatch clock — a pipelined backend's clock lags completions.
+        return getattr(self.backend, "completion_ns", self.backend.clock_ns) - self._clock0
 
     def _window_busy(self, records) -> float:
         completed = [r for r in records if r.completed]
@@ -600,8 +608,13 @@ class PimSession:
         A batch that also served another session's requests is split by
         serial-latency share, so concurrently interleaved sessions over
         one backend sum to the backend's actual busy time instead of each
-        counting the shared batch in full.  A session that owns a whole
-        batch is charged exactly its latency (the single-session case).
+        counting the shared batch in full.  Each batch contributes its
+        overlap-aware device-busy time (:attr:`BatchMetrics.busy_ns`):
+        under lane pipelining that is the busy-union the batch *added*,
+        so completion time a batch spent overlapped with its predecessor
+        on other banks is never double-counted; for a batch-synchronous
+        backend it is exactly the batch makespan, the single-session
+        legacy accounting.
         """
         own_serial: Dict[int, float] = {}
         for record in completed:
@@ -613,7 +626,7 @@ class PimSession:
         for index, serial in own_serial.items():
             batch = frontend.batches[index].metrics
             if batch.serial_latency_ns > 0:
-                busy += batch.latency_ns * min(1.0, serial / batch.serial_latency_ns)
+                busy += batch.busy_ns * min(1.0, serial / batch.serial_latency_ns)
         return busy
 
     def _shard_window(self, label: str, shard, own_parts, shard_id: int) -> QueueMetrics:
@@ -623,7 +636,7 @@ class PimSession:
         if own_parts and self._all_terminal(own_parts):
             makespan = max((p.finish_ns - clock0 for p in completed), default=0.0)
         elif own_parts:
-            makespan = shard.clock_ns - clock0
+            makespan = shard.completion_ns - clock0
         else:
             makespan = 0.0
         return summarize_queue_records(

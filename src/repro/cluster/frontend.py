@@ -177,15 +177,24 @@ class ClusterFrontend:
         max_queue_depth / max_backlog_ns / shed_low_priority: Per-shard
             admission knobs (see :class:`ServiceFrontend`).
         functional: Execute shard batches on the simulated banks.
+        pipeline: Per-shard lane pipelining (the default; see
+            :class:`~repro.service.executor.BatchExecutor`).  Each shard
+            advances its own bank lanes independently, so a hot shard
+            dispatches its next batch the moment one of its banks drains
+            instead of stalling behind its own prior batch's makespan.
+            ``False`` restores batch-synchronous shards for A/B runs.
         shards: Pre-built shard frontends (overrides the factory path).
-        merge_ns_per_op: Host time charged per gather-side AND-merge of
-            two shard partials.  The merge runs on the host, not on a
-            device, so it is charged to the record's completion time (and
-            rolled up in :attr:`ClusterMetrics.host_merge_ns`) rather
-            than to device metrics.  The default prices one AND over an
-            8 KiB row-sized bitmap through host memory (read two
-            operands, write one result at tens of GB/s); 0 restores the
-            pre-costing behaviour.
+        merge_ns_per_op: Host time charged per *level* of the gather-side
+            AND-merge tree of shard partials.  The merge runs on the
+            host, not on a device: partials are merged pairwise in
+            parallel — ``ceil(log2(fanout))`` tree levels, not a serial
+            per-op chain — and the total is charged to the record's
+            completion time (and rolled up in
+            :attr:`ClusterMetrics.host_merge_ns`) rather than to device
+            metrics.  The default prices one AND over an 8 KiB row-sized
+            bitmap through host memory (read two operands, write one
+            result at tens of GB/s); 0 restores the pre-costing
+            behaviour.
     """
 
     #: Default host cost of AND-merging two 8 KiB partial bitmaps.
@@ -200,6 +209,7 @@ class ClusterFrontend:
         max_queue_depth: int = 64,
         max_backlog_ns: Optional[float] = None,
         functional: bool = False,
+        pipeline: bool = True,
         shed_low_priority: bool = False,
         shards: Optional[List[ServiceFrontend]] = None,
         merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
@@ -217,7 +227,7 @@ class ClusterFrontend:
             factory = engine_factory or _default_engine_factory
             self.shards = [
                 ServiceFrontend(
-                    executor=BatchExecutor(engine=factory()),
+                    executor=BatchExecutor(engine=factory(), pipeline=pipeline),
                     policy=policy,
                     max_queue_depth=max_queue_depth,
                     max_backlog_ns=max_backlog_ns,
@@ -245,11 +255,12 @@ class ClusterFrontend:
 
     def shard_load(self, shard_id: int, at_ns: Optional[float] = None) -> float:
         """Backlog of one shard at an instant: remaining in-service time
-        (the shard's clock past ``at_ns`` while a batch occupies it) plus
-        its queued hottest-bank backlog."""
+        (how far the shard's completion horizon — its clock, or with
+        pipelining the busiest lane's in-flight horizon — sits past
+        ``at_ns``) plus its queued hottest-bank backlog."""
         at = self.clock_ns if at_ns is None else at_ns
         shard = self.shards[shard_id]
-        return max(0.0, shard.clock_ns - at) + shard.backlog_ns
+        return max(0.0, shard.completion_ns - at) + shard.backlog_ns
 
     def backlog_vector(self, at_ns: Optional[float] = None) -> List[float]:
         """Per-shard backlog (the routing signal), shard order."""
@@ -394,15 +405,21 @@ class ClusterFrontend:
             return
         # Scattered conjunction: AND the per-shard partial bitmaps.  The
         # merge runs host-side (it is NOT charged as device work); device
-        # cost is the serial combination of the shard chains, and the host
-        # cost model charges `merge_ns_per_op` per AND into the record's
-        # completion time — a gathered result is not ready until the host
-        # has actually merged it.
+        # cost is the serial combination of the shard chains.  The host
+        # cost model charges the *merge tree*: partials merge pairwise in
+        # parallel, so a G-way gather costs ceil(log2(G)) levels of
+        # `merge_ns_per_op` on the record's completion time — a gathered
+        # result is not ready until the host has actually merged it, but
+        # independent pairs never serialize behind each other.
         record.value = np.bitwise_and.reduce([p.value for p in parts])
-        record.host_merge_ns = (len(parts) - 1) * self.merge_ns_per_op
+        tree_depth = (len(parts) - 1).bit_length()
+        record.host_merge_ns = tree_depth * self.merge_ns_per_op
         record.finish_ns += record.host_merge_ns
         merged = combine_serial("cluster_gather", (p.metrics for p in parts))
-        merged.notes = f"{len(parts)} shard partials, host-side AND merge"
+        merged.notes = (
+            f"{len(parts)} shard partials, host-side AND merge tree "
+            f"({tree_depth} levels)"
+        )
         record.metrics = merged
 
     def gather(self) -> int:

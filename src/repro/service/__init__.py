@@ -16,6 +16,7 @@ hand-build their own batches.
 
 from repro.service.client import BackoffPolicy, RetryClient, RetryOutcome, RetryRecord
 from repro.service.executor import BatchExecutor
+from repro.service.lanes import HOST_LANE, LaneSchedule
 from repro.service.frontend import (
     ArrivalEvent,
     PipelineResult,
@@ -51,6 +52,8 @@ __all__ = [
     "BulkOpRequest",
     "CopyRequest",
     "FrontendRequest",
+    "HOST_LANE",
+    "LaneSchedule",
     "LoweredGroup",
     "PipelineResult",
     "QueuedRequest",

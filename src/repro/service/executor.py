@@ -19,7 +19,15 @@ hardware is charged for:
   processing time first (LPT) before the greedy bank assignment, which
   tightens the makespan over submission order.  This is the *only* way a
   batch may be faster: per-request latency and total energy are identical
-  to sequential execution, which the property tests pin down.
+  to sequential execution, which the property tests pin down.  With
+  ``pipeline`` (the default) the per-bank schedule is a *persistent*
+  :class:`~repro.service.lanes.LaneSchedule` whose lane horizons carry
+  across batches: a new batch's requests start on banks the previous
+  batch has already drained instead of waiting behind a global batch
+  barrier.  ``pipeline=False`` restores the batch-synchronous schedule
+  (a fresh timeline per batch) for A/B comparison; either way the
+  schedule only moves start times — results, per-request latencies, and
+  energies are bit-identical.
 * **Operation fusion** — within a batch, the complement of a bit plane is
   materialized at most once and reused by every step that needs it (the
   NOT feeding an AND in the BitWeaving recurrence, the shared planes of a
@@ -54,6 +62,7 @@ from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.metrics import BatchMetrics, OperationMetrics, combine_serial
 from repro.database.bitweaving import BitWeavingColumn
 from repro.rowclone.engine import RowCloneEngine
+from repro.service.lanes import HOST_LANE, LaneSchedule
 from repro.service.pool import VectorPool
 from repro.service.requests import (
     BatchResult,
@@ -91,6 +100,13 @@ class BatchExecutor:
             times within the batch; per-request results, latencies, and
             energies are unchanged.  Disabling falls back to submission
             order, useful for A/B-testing the makespan.
+        pipeline: Carry per-bank lane horizons *across* batches (see
+            :class:`~repro.service.lanes.LaneSchedule`): a new batch's
+            requests start on banks the previous batch has drained
+            instead of waiting for its global makespan.  ``False``
+            restores the batch-synchronous barrier (a fresh schedule per
+            batch) for A/B benchmarking.  The mode only moves start
+            times — results and charged costs are identical either way.
         verify_fraction: Fraction of each batch's requests that a
             ``functional=True`` run executes on the simulated banks (and
             verifies); the rest run analytically.  Sampling is
@@ -106,6 +122,7 @@ class BatchExecutor:
         pool_capacity: int = 16,
         fuse: bool = True,
         lpt: bool = True,
+        pipeline: bool = True,
         verify_fraction: float = 1.0,
         verify_seed: int = 0,
     ) -> None:
@@ -118,6 +135,7 @@ class BatchExecutor:
         self.pool = VectorPool(self.engine, capacity=pool_capacity)
         self.fuse = fuse
         self.lpt = lpt
+        self.pipeline = pipeline
         self.verify_fraction = verify_fraction
         self.verify_seed = verify_seed
         #: Requests executed on the simulated banks across all runs.
@@ -134,11 +152,19 @@ class BatchExecutor:
         self._object_offsets: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         self._next_offset = 0
         self._bank_keys = [key for key, _ in self.engine.device.iter_banks()]
+        #: Persistent per-bank lane timelines (only advanced in pipelined
+        #: mode; a barrier run schedules on a fresh throwaway timeline).
+        self.lanes = LaneSchedule(self.active_bank_keys())
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, requests: List[ServiceRequest], functional: bool = False) -> BatchResult:
+    def run(
+        self,
+        requests: List[ServiceRequest],
+        functional: bool = False,
+        release_ns: Optional[float] = None,
+    ) -> BatchResult:
         """Run a shaped batch and return per-request + batch results.
 
         Args:
@@ -149,6 +175,14 @@ class BatchExecutor:
                 identical either way; the functional path additionally
                 verifies them against the banks' contents, subject to
                 ``verify_fraction`` sampling.
+            release_ns: Dispatch instant of the batch on the caller's
+                virtual clock; every scheduled start is at or after it,
+                and result ``start_ns`` values are absolute against the
+                same clock.  Defaults to 0 for a batch-synchronous run
+                and to :meth:`ready_ns` — the earliest instant a bank
+                lane is free — for a pipelined one, which models a
+                caller dispatching each batch as soon as the executor
+                can accept work.
         """
         for request in requests:
             if not isinstance(request, (BulkOpRequest, ScanRequest, CopyRequest)):
@@ -172,7 +206,9 @@ class BatchExecutor:
                 results.append(self._run_copy(request))
         self._release_context(context)
 
-        makespan = self._schedule(results)
+        if release_ns is None:
+            release_ns = self.ready_ns()
+        makespan, device_busy, overlap = self._schedule(results, float(release_ns))
         serial = combine_serial("batch_serial", (r.metrics for r in results))
         metrics = BatchMetrics(
             name="service_batch",
@@ -182,6 +218,8 @@ class BatchExecutor:
             energy_j=serial.energy_j,
             bytes_produced=serial.bytes_produced,
             per_request=[r.metrics for r in results],
+            device_busy_ns=device_busy if self.pipeline else None,
+            cross_batch_overlap_ns=overlap,
             notes=f"{context.fused_ops} fused ops" if context.fused_ops else "",
         )
         return BatchResult(results=results, metrics=metrics)
@@ -500,9 +538,12 @@ class BatchExecutor:
         Drives the frontend's per-bank backlog admission: requests with a
         stable bank affinity — scans of a column, bulk ops over placed
         vectors or with a ``bank_offset`` hint — charge their latency to
-        exactly the banks execution will contend for.  An empty list means
-        the request has no affinity (it will be rotated onto whichever
-        banks come next), so the frontend spreads its backlog evenly.
+        exactly the banks execution will contend for.  A host-only bulk
+        op (no placement, no bank hint) never touches a bank: it is
+        charged to the dedicated host lane, the same lane the schedule
+        will serialize it on.  An empty list means the request has no
+        affinity (it will be rotated onto whichever banks come next), so
+        the frontend spreads its backlog evenly.
         """
         if isinstance(request, BulkOpRequest):
             vector = request.a
@@ -510,7 +551,7 @@ class BatchExecutor:
                 return sorted({p.bank_key for p in vector.allocation.placements})
             if request.bank_offset is not None:
                 return self.span_banks(vector.num_rows, request.bank_offset)
-            return []
+            return [HOST_LANE]
         if isinstance(request, ScanRequest):
             expected, _ = request.scan_result()
             rows = max(1, -(-len(expected) // self.engine.device.geometry.row_size_bytes))
@@ -534,31 +575,89 @@ class BatchExecutor:
             return sorted({p.bank_key for p in vector.allocation.placements})
         if request.bank_offset is not None:
             return self._modeled_banks(rows, request.bank_offset % self.banks_available())
-        return self._modeled_banks(rows, self._rotate_offset(rows))
+        # Host-only operands with no bank hint never touch DRAM banks:
+        # the op runs (and serializes) on the dedicated host lane instead
+        # of being rotated onto — and falsely contending with — real banks.
+        return []
 
-    def _schedule(self, results: List[RequestResult]) -> float:
-        """Greedy per-bank list schedule; returns the batch makespan.
+    def _schedule(
+        self, results: List[RequestResult], release_ns: float
+    ) -> Tuple[float, float, float]:
+        """Greedy per-bank lane schedule of one dispatched batch.
 
         Each request occupies its banks for its full sequential latency; a
-        request starts once all of its banks are free.  Requests on
-        disjoint banks therefore overlap completely, while requests
-        contending for a bank serialize — exactly the paper's bank-level
-        parallelism and nothing more.  With ``lpt`` (the default) requests
-        are placed longest first, the classic LPT heuristic, which tightens
-        the makespan over submission order without touching any result.
+        request starts once it is released and all of its banks are free.
+        Requests on disjoint banks therefore overlap completely, while
+        requests contending for a bank serialize — exactly the paper's
+        bank-level parallelism and nothing more.  With ``lpt`` (the
+        default) requests are placed longest first, the classic LPT
+        heuristic, which tightens the makespan over submission order
+        without touching any result.  Requests that occupy no bank —
+        host-only bulk operations — go onto the dedicated host lane
+        rather than falsely contending with real bank-0 traffic.
+
+        In pipelined mode the batch lands on the executor's *persistent*
+        lane timelines, so requests start behind whatever horizons earlier
+        batches left on their banks; a barrier batch schedules on a fresh
+        throwaway timeline instead.  Returns ``(makespan, device_busy,
+        cross_batch_overlap)``: the completion horizon relative to the
+        dispatch instant, the device-busy time the batch added (union of
+        its intervals), and the work that ran before the previous batch's
+        completion horizon.
         """
         if self.lpt:
             order = sorted(results, key=lambda r: -r.metrics.latency_ns)
         else:
             order = results
-        load: Dict = {}
-        makespan = 0.0
+        lanes = self.lanes if self.pipeline else LaneSchedule(self.active_bank_keys())
+        prev_horizon = lanes.horizon_ns()
+        busy_before = lanes.busy_union_ns
+        finish_max = release_ns
+        overlap = 0.0
         for result in order:
-            banks = result.bank_ids or [0]
-            start = max(load.get(bank, 0.0) for bank in banks)
+            banks = result.bank_ids or [HOST_LANE]
+            start, finish = lanes.place(banks, result.metrics.latency_ns, release_ns)
             result.start_ns = start
-            finish = start + result.metrics.latency_ns
-            for bank in banks:
-                load[bank] = finish
-            makespan = max(makespan, finish)
-        return makespan
+            overlap += max(0.0, min(finish, prev_horizon) - start)
+            finish_max = max(finish_max, finish)
+        if self.pipeline:
+            lanes.cross_batch_overlap_ns += overlap
+            lanes.batches += 1
+        return finish_max - release_ns, lanes.busy_union_ns - busy_before, overlap
+
+    # ------------------------------------------------------------------
+    # Lane timeline accessors (pipelined dispatch surface)
+    # ------------------------------------------------------------------
+    def horizon_ns(self) -> float:
+        """Completion horizon of the persistent lanes (0 without pipelining)."""
+        return self.lanes.horizon_ns() if self.pipeline else 0.0
+
+    def ready_ns(self) -> float:
+        """Earliest instant a bank lane is free to accept a new dispatch.
+
+        The pipelined frontend gates batch dispatch on this: a batch may
+        close as soon as *some* bank has drained, instead of waiting for
+        the previous batch's global makespan.  Always 0 without
+        pipelining (the barrier executor has no carried-over state).
+        """
+        return self.lanes.ready_ns() if self.pipeline else 0.0
+
+    def lane_horizon_ns(self, key) -> float:
+        """Busy-until horizon of one lane (0 without pipelining)."""
+        return self.lanes.lane_horizon_ns(key) if self.pipeline else 0.0
+
+    def lane_metrics(self, name: str = "lanes"):
+        """Per-lane utilization snapshot (:class:`LaneMetrics`).
+
+        Raises:
+            ValueError: For a ``pipeline=False`` executor — the barrier
+                schedule is rebuilt per batch and never advances the
+                persistent lanes, so a snapshot would read as an idle,
+                never-used device rather than the truth.
+        """
+        if not self.pipeline:
+            raise ValueError(
+                "lane metrics require a pipelined executor; a barrier "
+                "(pipeline=False) executor does not advance the persistent lanes"
+            )
+        return self.lanes.metrics(name)

@@ -34,11 +34,27 @@ FIFO — so latency-critical classes overtake bulk work without starving it
 (the batch window bounds the wait of everything admitted).
 
 **Virtual time.**  The frontend simulates in nanoseconds, consistent with
-the rest of the stack: arrivals happen at their timestamps, a batch
-occupies the executor for its makespan, and requests arriving during
-service are admitted (against the live queue) before the next batch
-closes.  Per-request wait and sojourn times, deadline misses, and
-rejections are summarized in :class:`~repro.analysis.metrics.QueueMetrics`.
+the rest of the stack: arrivals happen at their timestamps, and requests
+arriving during service are admitted (against the live queue) before the
+next batch closes.  Per-request wait and sojourn times, deadline misses,
+and rejections are summarized in
+:class:`~repro.analysis.metrics.QueueMetrics`.
+
+**Lane pipelining.**  With a pipelined executor (the default), serving a
+batch does *not* occupy the clock for the batch's makespan: the batch is
+dispatched onto the executor's persistent per-bank lane timelines
+(:class:`~repro.service.lanes.LaneSchedule`), and the next batch may be
+dispatched as soon as *some* bank lane has drained
+(:meth:`BatchExecutor.ready_ns`) — so a straggler on one bank no longer
+holds every other bank idle.  Completion accounting then reads lane
+horizons instead of batch makespans: request finish times come from the
+lane schedule, :attr:`completion_ns` extends the clock by the in-flight
+horizon, admission occupancy counts each bank's in-flight remainder on
+top of its queued backlog, and :attr:`busy_ns` accumulates the
+overlap-aware device-busy union rather than a sum of makespans.  With
+``BatchExecutor(pipeline=False)`` every one of these reduces to the
+batch-synchronous behaviour: the clock rides through each makespan and
+in-flight remainders are zero.
 """
 
 from __future__ import annotations
@@ -50,8 +66,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.metrics import QueueMetrics, summarize_queue_records
+from repro.analysis.metrics import LaneMetrics, QueueMetrics, summarize_queue_records
 from repro.service.executor import BatchExecutor
+from repro.service.lanes import HOST_LANE
 from repro.service.planner import BatchPlanner, BatchPolicy
 from repro.service.requests import BatchResult, FrontendRequest, QueuedRequest
 
@@ -240,7 +257,7 @@ class ServiceFrontend:
 
     @property
     def backlog_ns(self) -> float:
-        """Modeled occupancy of the hottest bank (the admission-binding value)."""
+        """Modeled queued occupancy of the hottest lane (the admission-binding value)."""
         return max(self._bank_backlog.values(), default=0.0)
 
     @property
@@ -248,21 +265,56 @@ class ServiceFrontend:
         """Queued serial latency spread over the banks (the old scalar model)."""
         return self._backlog_ns / self._banks()
 
+    @property
+    def completion_ns(self) -> float:
+        """When everything dispatched so far finishes: the clock, extended
+        by any in-flight lane horizon a pipelined executor still carries."""
+        return max(self.clock_ns, self.executor.horizon_ns())
+
     def bank_backlog(self) -> Dict:
-        """Copy of the per-bank backlog vector (bank key -> queued ns)."""
+        """Copy of the per-lane backlog vector (lane key -> queued ns)."""
         return dict(self._bank_backlog)
+
+    def lane_metrics(self, name: str = "lanes") -> LaneMetrics:
+        """Per-lane utilization snapshot of the executor's timelines."""
+        return self.executor.lane_metrics(name)
 
     def _banks(self) -> int:
         return max(1, self.executor.banks_available())
 
+    def _inflight_ns(self, key) -> float:
+        """In-flight (dispatched, unfinished) time still ahead of one lane.
+
+        Zero for a barrier executor, whose in-service time rides on the
+        clock itself; for a pipelined one it is the lane's horizon beyond
+        the current clock, so admission occupancy keeps counting work the
+        banks have accepted but not yet drained.
+        """
+        return max(0.0, self.executor.lane_horizon_ns(key) - self.clock_ns)
+
     def _occupancy_with(self, backlog: Dict, queued: QueuedRequest) -> float:
-        """Hottest-bank occupancy if ``queued`` were charged onto ``backlog``."""
+        """Hottest-lane occupancy if ``queued`` were charged onto ``backlog``.
+
+        Occupancy of a lane is its queued backlog plus its in-flight
+        remainder; pinned candidates bind on the hottest lane they would
+        touch, unpinned ones on the hottest *bank* lane (host-lane load
+        never blocks bank-bound work).
+        """
         if queued.modeled_banks:
             return max(
-                backlog.get(key, 0.0) + queued.modeled_ns for key in queued.modeled_banks
+                backlog.get(key, 0.0) + self._inflight_ns(key) + queued.modeled_ns
+                for key in queued.modeled_banks
             )
         share = queued.modeled_ns / self._banks()
-        return max(backlog.values(), default=0.0) + share
+        hottest = max(
+            (
+                backlog.get(key, 0.0) + self._inflight_ns(key)
+                for key in backlog
+                if key != HOST_LANE
+            ),
+            default=0.0,
+        )
+        return hottest + share
 
     def _charge(self, queued: QueuedRequest, sign: float) -> None:
         amount = sign * queued.modeled_ns
@@ -272,7 +324,8 @@ class ServiceFrontend:
         else:
             share = amount / self._banks()
             for key in self._bank_backlog:
-                self._bank_backlog[key] += share
+                if key != HOST_LANE:
+                    self._bank_backlog[key] += share
         self._backlog_ns += amount
 
     def _reset_backlog(self) -> None:
@@ -324,7 +377,8 @@ class ServiceFrontend:
         else:
             share = victim.modeled_ns / self._banks()
             for key in backlog:
-                backlog[key] -= share
+                if key != HOST_LANE:
+                    backlog[key] -= share
 
     def _plan_occupancy_shed(
         self, candidate: QueuedRequest, pre_evicted: Sequence[QueuedRequest] = ()
@@ -419,15 +473,41 @@ class ServiceFrontend:
     def _queued(self) -> List[QueuedRequest]:
         return [q for _, q in self._heap]
 
+    def _dispatch_ready_ns(self) -> float:
+        """Earliest instant the *next* batch may be dispatched.
+
+        A pipelined batch dispatches as soon as some bank lane is free
+        (:meth:`BatchExecutor.ready_ns`); a batch made entirely of
+        host-only work gates on the host lane instead — host work must
+        never wait for a bank it will not touch.  Always the current
+        clock's past (0) for a barrier executor.
+        """
+        if not self.executor.pipeline:
+            return 0.0
+        size = min(self.planner.policy.max_batch, len(self._heap))
+        head = heapq.nsmallest(size, self._heap)
+        if head and all(q.modeled_banks == [HOST_LANE] for _, q in head):
+            return self.executor.lane_horizon_ns(HOST_LANE)
+        return self.executor.ready_ns()
+
     def serve_batch(self) -> Optional[BatchResult]:
         """Close and execute one batch from the queue (None when empty).
 
-        The batch starts at the current clock; the clock advances by the
-        batch makespan.  Lowered groups report the start of their first
-        primitive and the finish of their last.
+        The batch is dispatched at the current clock (lifted, under
+        pipelining, to the first instant a bank lane is free).  A barrier
+        executor then occupies the clock for the batch makespan; a
+        pipelined one leaves the clock at the dispatch instant and lets
+        the work ride the lane horizons, so the next batch can dispatch
+        onto banks this one never touched — or has already drained.
+        Lowered groups report the start of their first primitive and the
+        finish of their last.
         """
         if not self._heap:
             return None
+        pipelined = self.executor.pipeline
+        if pipelined:
+            # Dispatch gate: wait (on the virtual clock) until a lane is free.
+            self.clock_ns = max(self.clock_ns, self._dispatch_ready_ns())
         size = min(self.planner.policy.max_batch, len(self._heap))
         closed: List[QueuedRequest] = []
         for _ in range(size):
@@ -438,16 +518,20 @@ class ServiceFrontend:
             self._reset_backlog()
 
         primitives, groups = self.planner.lower_batch(closed)
-        batch = self.executor.run(primitives, functional=self.functional)
         batch_start = self.clock_ns
+        batch = self.executor.run(
+            primitives, functional=self.functional, release_ns=batch_start
+        )
         batch_index = len(self.batches)
         for group in groups:
             queued = group.queued
             queued.batch_index = batch_index
             if group.indices:
+                # Result start times are absolute against the frontend
+                # clock (the executor scheduled from ``release_ns``).
                 results = [batch.results[i] for i in group.indices]
-                queued.start_ns = batch_start + min(r.start_ns for r in results)
-                queued.finish_ns = batch_start + max(
+                queued.start_ns = min(r.start_ns for r in results)
+                queued.finish_ns = max(
                     r.start_ns + r.metrics.latency_ns for r in results
                 )
                 queued.metrics = self.planner.group_metrics(group, results)
@@ -457,28 +541,47 @@ class ServiceFrontend:
                 queued.finish_ns = batch_start
                 queued.metrics = group.zero_cost_metrics
                 queued.value = group.finalize([])
-        self.clock_ns = batch_start + batch.metrics.latency_ns
-        self.busy_ns += batch.metrics.latency_ns
+        if not pipelined:
+            self.clock_ns = batch_start + batch.metrics.latency_ns
+        self.busy_ns += batch.metrics.busy_ns
         self.batches.append(batch)
         return batch
 
     def drain(self) -> None:
-        """Serve batches until the queue is empty."""
+        """Serve batches until the queue is empty, then ride out the lanes.
+
+        On return the clock sits at the completion horizon, so a reused
+        frontend starts its next stream against an idle executor exactly
+        as a barrier one would.
+        """
         while self._heap:
             self.serve_batch()
+        self.clock_ns = max(self.clock_ns, self.executor.horizon_ns())
 
     def advance_to(self, until_ns: float) -> None:
         """Advance the virtual clock towards ``until_ns``, serving batches.
 
-        Serves every batch the policy closes strictly before ``until_ns``
-        (the clock may overshoot by an in-flight batch's makespan — service
-        is batch-synchronous), then stops so a pending arrival at
-        ``until_ns`` can be admitted against the live queue.  The clock is
-        *not* lifted to ``until_ns``; :meth:`offer` does that at arrival.
-        Shared by :meth:`run`, the cluster frontend, and the retry client.
+        Serves every batch the policy closes strictly before ``until_ns``,
+        then stops so a pending arrival at ``until_ns`` can be admitted
+        against the live queue.  With a barrier executor the clock may
+        overshoot by an in-flight batch's makespan (service is
+        batch-synchronous); a pipelined executor instead gates dispatch
+        on :meth:`BatchExecutor.ready_ns` — a batch closes as soon as
+        some bank lane is free, not when the whole previous batch has
+        drained.  The clock is *not* lifted to ``until_ns``;
+        :meth:`offer` does that at arrival.  Shared by :meth:`run`, the
+        cluster frontend, and the retry client.
         """
         while self._heap and self.clock_ns < until_ns:
             if self.planner.should_close(self._queued(), self.clock_ns):
+                ready = self._dispatch_ready_ns()
+                if ready > self.clock_ns:
+                    # Every lane the next batch would use is busy: the
+                    # next dispatch instant is when the first one drains.
+                    if ready >= until_ns:
+                        break
+                    self.clock_ns = ready
+                    continue
                 self.serve_batch()
                 continue
             # Sleep until the policy's next closing instant (window expiry /
@@ -493,8 +596,9 @@ class ServiceFrontend:
 
         Drives the virtual clock: requests are admitted at their arrival
         times, the planner decides when each batch closes (a batch is also
-        forced once the stream has ended), and service occupies the clock
-        for each batch's makespan.
+        forced once the stream has ended), and service rides the executor
+        — the clock through each batch's makespan for a barrier executor,
+        the per-bank lane horizons for a pipelined one.
         """
         for event in sorted(events, key=lambda e: e.arrival_ns):
             self.advance_to(event.arrival_ns)
@@ -513,6 +617,6 @@ class ServiceFrontend:
     def result(self, name: str = "frontend") -> PipelineResult:
         """Summarize everything served so far into a :class:`PipelineResult`."""
         metrics = summarize_records(
-            name, self.records, self.clock_ns, self.busy_ns, len(self.batches)
+            name, self.records, self.completion_ns, self.busy_ns, len(self.batches)
         )
         return PipelineResult(records=list(self.records), batches=list(self.batches), metrics=metrics)

@@ -1,0 +1,154 @@
+"""Persistent per-bank lane timelines for cross-batch pipelining.
+
+A :class:`LaneSchedule` carries one *lane* per schedulable resource — each
+DRAM bank the executor rotates work onto, plus one dedicated
+:data:`HOST_LANE` for work that never touches a bank — and remembers each
+lane's **busy-until horizon** *across* batches.  That persistence is what
+replaces the batch-synchronous barrier: when the executor dispatches a new
+batch, requests bound for banks the previous batch has already drained
+start immediately, while requests bound for a still-busy bank queue behind
+that lane's horizon.  Within one dependency chain nothing moves — a
+request still occupies all of its banks for its full sequential latency,
+and requests contending for a bank serialize in dispatch order — so lane
+pipelining changes *when* work runs, never *what* it computes or what the
+hardware is charged.
+
+Besides the horizons, the schedule keeps the accounting that makes the
+pipelining win measurable:
+
+* **per-lane busy time** — the sequential latency charged onto each lane,
+  from which per-lane utilization and the bank idle fraction derive;
+* **device-busy union** — the union of all scheduled ``[start, finish)``
+  intervals across lanes, i.e. the virtual time during which *any* lane
+  was busy.  This is the honest "busy" for throughput math: summing batch
+  makespans would double-count the overlap pipelining creates;
+* **cross-batch overlap** — the portion of each batch's work that ran
+  before the previous batch's completion horizon, which is exactly the
+  time the barrier used to waste.
+
+The schedule is deliberately policy-free: the executor decides lane
+membership (bank assignment) and request order (LPT), the frontend decides
+dispatch instants; :meth:`place` only advances the timelines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.metrics import LaneMetrics
+
+#: Lane key of work that runs host-side and occupies no DRAM bank.  Kept a
+#: string so it can never collide with the device's ``(channel, rank,
+#: bank)`` tuple keys — host-only bulk operations must not contend with
+#: real bank-0 traffic.
+HOST_LANE = "host"
+
+
+class LaneSchedule:
+    """Per-lane busy-until timelines that persist across batches.
+
+    Args:
+        lane_keys: Lanes to pre-create (the executor's active bank keys).
+            Further lanes — notably :data:`HOST_LANE` — are created lazily
+            the first time work is placed on them.
+    """
+
+    def __init__(self, lane_keys: Iterable = ()) -> None:
+        #: Busy-until horizon per lane (absolute virtual ns).
+        self.horizon: Dict = {key: 0.0 for key in lane_keys}
+        #: Total busy time charged per lane.
+        self.busy: Dict = {key: 0.0 for key in self.horizon}
+        #: Virtual time during which at least one lane was busy (the union
+        #: of all placed intervals).
+        self.busy_union_ns = 0.0
+        #: Work that ran before the previous batch's completion horizon.
+        self.cross_batch_overlap_ns = 0.0
+        #: Requests placed across the schedule's lifetime.
+        self.requests = 0
+        #: Batches dispatched across the schedule's lifetime.
+        self.batches = 0
+        # Disjoint, sorted union intervals (parallel start/end arrays).
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Horizons
+    # ------------------------------------------------------------------
+    def lane_horizon_ns(self, key) -> float:
+        """Busy-until horizon of one lane (0 for an untouched lane)."""
+        return self.horizon.get(key, 0.0)
+
+    def horizon_ns(self) -> float:
+        """The overall completion horizon (the busiest lane's)."""
+        return max(self.horizon.values(), default=0.0)
+
+    def ready_ns(self) -> float:
+        """Earliest instant some *bank* lane is idle — the dispatch gate.
+
+        A pipelined frontend may dispatch its next batch as soon as any
+        bank has drained (the batch's requests on still-busy banks simply
+        queue behind those lanes); the host lane never gates dispatch.
+        """
+        return min(
+            (h for key, h in self.horizon.items() if key != HOST_LANE),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(
+        self, lanes: Sequence, latency_ns: float, release_ns: float = 0.0
+    ) -> Tuple[float, float]:
+        """Place one request on its lanes; returns ``(start, finish)``.
+
+        The request starts once it is released *and* every one of its
+        lanes has drained, then occupies all of them for ``latency_ns``.
+        """
+        start = release_ns
+        for key in lanes:
+            start = max(start, self.horizon.get(key, 0.0))
+        finish = start + latency_ns
+        for key in lanes:
+            self.horizon[key] = finish
+            self.busy[key] = self.busy.get(key, 0.0) + latency_ns
+        self._add_interval(start, finish)
+        self.requests += 1
+        return start, finish
+
+    def _add_interval(self, start: float, finish: float) -> float:
+        """Fold ``[start, finish)`` into the busy union; returns the ns added."""
+        if finish <= start:
+            return 0.0
+        starts, ends = self._starts, self._ends
+        i = bisect.bisect_left(ends, start)
+        j = bisect.bisect_right(starts, finish)
+        overlap = 0.0
+        new_start, new_end = start, finish
+        for k in range(i, j):
+            overlap += max(0.0, min(ends[k], finish) - max(starts[k], start))
+            new_start = min(new_start, starts[k])
+            new_end = max(new_end, ends[k])
+        added = (finish - start) - overlap
+        starts[i:j] = [new_start]
+        ends[i:j] = [new_end]
+        self.busy_union_ns += added
+        return added
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self, name: str = "lanes") -> LaneMetrics:
+        """Snapshot the lane accounting into a :class:`LaneMetrics`."""
+        return LaneMetrics(
+            name=name,
+            lanes=len(self.horizon),
+            span_ns=self.horizon_ns(),
+            busy_union_ns=self.busy_union_ns,
+            cross_batch_overlap_ns=self.cross_batch_overlap_ns,
+            requests=self.requests,
+            batches=self.batches,
+            per_lane_busy_ns=dict(self.busy),
+            host_lane_key=HOST_LANE,
+        )

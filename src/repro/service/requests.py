@@ -227,9 +227,13 @@ class RequestResult:
             sequential-execution cost; batching never changes it).
         value: The result payload — the output vector of a bulk op, the
             packed result bits of a scan, or None for a copy.
-        start_ns: When the scheduler started the request within the batch.
+        start_ns: When the schedule started the request, absolute against
+            the batch's dispatch clock (``release_ns``; 0 for a directly
+            executed batch).
         bank_ids: Identities of the banks the request occupied (real
-            placement keys for placed vectors, modeled slots otherwise).
+            placement keys for placed vectors, modeled slots otherwise;
+            empty for host-only work, which rides the dedicated host
+            lane).
     """
 
     request: ServiceRequest

@@ -44,6 +44,11 @@ class BatchScheduler:
         fuse: Enable operation fusion (shared plane complements).
         lpt: Order requests longest-first before bank assignment (LPT);
             see :class:`~repro.service.executor.BatchExecutor`.
+        pipeline: Carry per-bank lane horizons across consecutive
+            :meth:`execute` calls (the default): each batch is dispatched
+            as soon as some bank lane has drained, so a hot bank's
+            straggler no longer stalls the next batch's work on idle
+            banks.  ``False`` restores the batch-synchronous barrier.
         verify_fraction: Fraction of a functional batch executed (and
             verified) on the simulated banks; the rest run analytically.
         verify_seed: Seed of the deterministic verification sampler.
@@ -56,6 +61,7 @@ class BatchScheduler:
         pool_capacity: int = 16,
         fuse: bool = True,
         lpt: bool = True,
+        pipeline: bool = True,
         verify_fraction: float = 1.0,
         verify_seed: int = 0,
     ) -> None:
@@ -65,6 +71,7 @@ class BatchScheduler:
             pool_capacity=pool_capacity,
             fuse=fuse,
             lpt=lpt,
+            pipeline=pipeline,
             verify_fraction=verify_fraction,
             verify_seed=verify_seed,
         )
@@ -131,7 +138,9 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, functional: bool = False) -> BatchResult:
+    def execute(
+        self, functional: bool = False, release_ns: Optional[float] = None
+    ) -> BatchResult:
         """Run every pending request and return per-request + batch results.
 
         Args:
@@ -140,6 +149,10 @@ class BatchScheduler:
                 identical either way; the functional path additionally
                 verifies them against the banks' contents (subject to the
                 ``verify_fraction`` sampling knob).
+            release_ns: Dispatch instant of the batch (see
+                :meth:`BatchExecutor.run`); defaults to the earliest
+                instant a bank lane is free, so consecutive pipelined
+                batches overlap across bank lanes.
         """
         requests, self._pending = self._pending, []
-        return self.executor.run(requests, functional=functional)
+        return self.executor.run(requests, functional=functional, release_ns=release_ns)
