@@ -75,6 +75,9 @@ def _build_cluster(num_shards: int) -> ClusterFrontend:
         engine_factory=_engine_factory,
         policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
         max_queue_depth=MAX_QUEUE_DEPTH,
+        # sanitize: every shard dispatch, lowered chain, and scatter is
+        # certified by repro.verify — the benchmark doubles as its workload.
+        sanitize=True,
     )
 
 
@@ -148,6 +151,7 @@ def _conjunction_check(seed: int = 13):
             engine_factory=_engine_factory,
             policy=BatchPolicy(max_batch=MAX_BATCH),
             max_queue_depth=MAX_QUEUE_DEPTH,
+            sanitize=True,
         ),
         name="cluster_conjunctions",
     )

@@ -75,7 +75,9 @@ def _build_scans(seed: int = 7):
 def _run_mode(system, scans, pipeline: bool):
     ambit = system["ambit"]
     frontend = ServiceFrontend(
-        executor=BatchExecutor(engine=ambit, pipeline=pipeline),
+        # sanitize: every dispatch is certified by the schedule race
+        # detector (repro.verify) — the benchmark doubles as its workload.
+        executor=BatchExecutor(engine=ambit, pipeline=pipeline, sanitize=True),
         policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
         max_queue_depth=10 * NUM_SCANS,  # unbounded: identical workloads
     )

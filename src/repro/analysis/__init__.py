@@ -5,6 +5,14 @@ the same shape the paper does: a small table of named rows with a ratio
 column (speedup, energy reduction) and a geometric-mean summary row.
 """
 
+from repro.analysis.audit import (
+    ScheduleAudit,
+    audit_cluster,
+    audit_executor,
+    audit_schedule,
+    render_audit,
+    schedule_audit_report,
+)
 from repro.analysis.metrics import (
     BatchMetrics,
     ClusterMetrics,
@@ -25,8 +33,14 @@ __all__ = [
     "OperationMetrics",
     "QueueMetrics",
     "ResultTable",
+    "ScheduleAudit",
     "arithmetic_mean",
+    "audit_cluster",
+    "audit_executor",
+    "audit_schedule",
     "geometric_mean",
     "ratio",
     "reduction_percent",
+    "render_audit",
+    "schedule_audit_report",
 ]

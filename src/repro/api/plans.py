@@ -35,7 +35,7 @@ property tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -103,7 +103,7 @@ class ConjunctionSpec:
         predicates: (column, values) pairs; each contributes an ``IN``.
     """
 
-    index: object
+    index: Any
     predicates: Tuple[Tuple[str, Tuple[int, ...]], ...]
 
     def __post_init__(self) -> None:
@@ -142,7 +142,7 @@ def range_count_spec(column: "BitWeavingColumn", low: int, high: int) -> ScanSpe
     return ScanSpec(column=column, kind="between", constants=(low, high))
 
 
-def spec_for_request(request) -> QuerySpec:
+def spec_for_request(request: object) -> QuerySpec:
     """Recover the declarative spec of an already-lowered query request.
 
     Lets streams of raw :class:`~repro.service.requests.ScanRequest` /
@@ -172,7 +172,7 @@ LoweredStep = Tuple[str, BulkBitVector, BulkBitVector, BulkBitVector]
 
 
 def lower_conjunction_steps(
-    index,
+    index: Any,
     predicates: Sequence[Tuple[str, Sequence[int]]],
     row_size_bytes: int = 8192,
 ) -> Tuple[List[LoweredStep], BulkBitVector, BitmapPlan]:
@@ -237,7 +237,7 @@ def lower_conjunction_steps(
     return steps, result, plan
 
 
-def _bitmap_vector(index, column: str, value: int, row_size_bytes: int) -> BulkBitVector:
+def _bitmap_vector(index: Any, column: str, value: int, row_size_bytes: int) -> BulkBitVector:
     """A host-only vector holding one value's packed bitmap."""
     packed = index.bitmap(column, value)
     vector = BulkBitVector(index.num_rows, row_size_bytes)

@@ -169,7 +169,14 @@ class Future:
             ``metrics``, timing — is what the session reads).
     """
 
-    def __init__(self, session: "PimSession", spec: Optional[QuerySpec], request, record, kind: str) -> None:
+    def __init__(
+        self,
+        session: "PimSession",
+        spec: Optional[QuerySpec],
+        request: Any,
+        record: Any,
+        kind: str,
+    ) -> None:
         self._session = session
         self.spec = spec
         self.request = request
@@ -189,7 +196,7 @@ class Future:
         return "completed" if self.record.completed else "queued"
 
     @property
-    def metrics(self):
+    def metrics(self) -> Any:
         """The backend-charged service cost (None before service)."""
         return self.record.metrics
 
@@ -279,7 +286,7 @@ class SessionReport:
     requests: int
     details: Union[QueueMetrics, ClusterMetrics]
 
-    def __getattr__(self, item):
+    def __getattr__(self, item: str) -> Any:
         # Delegate the shared queueing surface to the tier metrics; keeps
         # one report shape without duplicating fifteen fields.
         if item in _SHARED_METRIC_FIELDS or item in (
@@ -353,7 +360,13 @@ class PimSession:
         return cls(frontend, coster=coster, name=name)
 
     @classmethod
-    def over_cluster(cls, num_shards=2, coster=None, name="cluster_session", **kwargs) -> "PimSession":
+    def over_cluster(
+        cls,
+        num_shards: int = 2,
+        coster: Optional[QueryEngine] = None,
+        name: str = "cluster_session",
+        **kwargs: Any,
+    ) -> "PimSession":
         """A session over a fresh N-shard :class:`ClusterFrontend`.
 
         Keyword arguments go to the cluster frontend (``router``,
@@ -365,7 +378,9 @@ class PimSession:
         return cls(ClusterFrontend(num_shards=num_shards, **kwargs), coster=coster, name=name)
 
     @classmethod
-    def over_host(cls, coster=None, name="host_session") -> "PimSession":
+    def over_host(
+        cls, coster: Optional[QueryEngine] = None, name: str = "host_session"
+    ) -> "PimSession":
         """A session over the serial host-CPU baseline backend."""
         return cls(HostBackend(coster=coster), coster=coster, name=name)
 
@@ -553,7 +568,7 @@ class PimSession:
             return QueryEngine(ambit=self.backend.shards[0].executor.engine)
         return QueryEngine(ambit=self.backend.executor.engine)
 
-    def _executors(self):
+    def _executors(self) -> List[Any]:
         if self.tier == "cluster":
             return [shard.executor for shard in self.backend.shards]
         if self.tier == "service":
@@ -571,10 +586,10 @@ class PimSession:
     # leaks into the time-based fields.
 
     @staticmethod
-    def _all_terminal(records) -> bool:
+    def _all_terminal(records: Sequence[Any]) -> bool:
         return all((not r.admitted) or r.completed for r in records)
 
-    def _window_makespan(self, records) -> float:
+    def _window_makespan(self, records: Sequence[Any]) -> float:
         completed = [r for r in records if r.completed]
         if records and self._all_terminal(records):
             return max((r.finish_ns - self._clock0 for r in completed), default=0.0)
@@ -582,27 +597,27 @@ class PimSession:
         # dispatch clock — a pipelined backend's clock lags completions.
         return getattr(self.backend, "completion_ns", self.backend.clock_ns) - self._clock0
 
-    def _window_busy(self, records) -> float:
+    def _window_busy(self, records: Sequence[Any]) -> float:
         completed = [r for r in records if r.completed]
         if self.tier == "host":
             return sum(r.metrics.latency_ns for r in completed)
         return self._apportioned_busy(self.backend, completed)
 
-    def _window_batches(self, records) -> int:
+    def _window_batches(self, records: Sequence[Any]) -> int:
         completed = [r for r in records if r.completed]
         if self.tier == "host":
             return len(completed)
         return len(self._own_batches(self.backend, completed))
 
     @staticmethod
-    def _own_batches(frontend, completed) -> List[int]:
+    def _own_batches(frontend: Any, completed: Sequence[Any]) -> List[int]:
         """Indices of the frontend batches that served ``completed``."""
         return sorted(
             {r.batch_index for r in completed if 0 <= r.batch_index < len(frontend.batches)}
         )
 
     @staticmethod
-    def _apportioned_busy(frontend, completed) -> float:
+    def _apportioned_busy(frontend: Any, completed: Sequence[Any]) -> float:
         """Executor busy time attributed to ``completed``'s batches.
 
         A batch that also served another session's requests is split by

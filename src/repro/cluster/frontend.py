@@ -183,6 +183,13 @@ class ClusterFrontend:
             dispatches its next batch the moment one of its banks drains
             instead of stalling behind its own prior batch's makespan.
             ``False`` restores batch-synchronous shards for A/B runs.
+        sanitize: Run the static verification layer cluster-wide: every
+            shard executor is built with ``sanitize=True`` (schedule race
+            detector on each dispatch, plan lint on each lowered chain)
+            and every scattered conjunction's shard parts are certified
+            to cover the full predicate set exactly once before being
+            offered.  Ignored for pre-built ``shards``, which keep their
+            own executors' setting.
         shards: Pre-built shard frontends (overrides the factory path).
         merge_ns_per_op: Host time charged per *level* of the gather-side
             AND-merge tree of shard partials.  The merge runs on the
@@ -211,12 +218,14 @@ class ClusterFrontend:
         functional: bool = False,
         pipeline: bool = True,
         shed_low_priority: bool = False,
+        sanitize: bool = False,
         shards: Optional[List[ServiceFrontend]] = None,
         merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
     ) -> None:
         if merge_ns_per_op < 0.0:
             raise ValueError("merge_ns_per_op must be non-negative")
         self.merge_ns_per_op = float(merge_ns_per_op)
+        self.sanitize = sanitize
         if shards is not None:
             if not shards:
                 raise ValueError("shards must not be empty")
@@ -227,7 +236,9 @@ class ClusterFrontend:
             factory = engine_factory or _default_engine_factory
             self.shards = [
                 ServiceFrontend(
-                    executor=BatchExecutor(engine=factory(), pipeline=pipeline),
+                    executor=BatchExecutor(
+                        engine=factory(), pipeline=pipeline, sanitize=sanitize
+                    ),
                     policy=policy,
                     max_queue_depth=max_queue_depth,
                     max_backlog_ns=max_backlog_ns,
@@ -345,7 +356,7 @@ class ClusterFrontend:
         by_shard: Dict[int, List[Tuple[str, Tuple[int, ...]]]] = {}
         for (column, values), (_, shard) in zip(request.predicates, assignment):
             by_shard.setdefault(shard, []).append((column, values))
-        return [
+        parts = [
             (
                 shard,
                 BitmapConjunctionRequest(
@@ -354,6 +365,17 @@ class ClusterFrontend:
             )
             for shard, predicates in sorted(by_shard.items())
         ]
+        if self.sanitize:
+            from repro.verify.plan_lint import check_scatter_coverage  # local: avoid cycle
+
+            # Certify the scatter before any shard sees its part: the
+            # shard-local sub-conjunctions must cover the predicate set
+            # exactly once, else the gather AND silently corrupts.
+            check_scatter_coverage(
+                request.predicates,
+                [(shard, sub.predicates) for shard, sub in parts],
+            )
+        return parts
 
     # ------------------------------------------------------------------
     # Service

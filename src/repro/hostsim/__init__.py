@@ -24,7 +24,6 @@ __all__ = [
     "CacheHierarchy",
     "CacheLevelStats",
     "CpuParameters",
-    "CpuParameters",
     "HostCpu",
     "HostEnergyModel",
     "GpuParameters",

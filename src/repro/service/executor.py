@@ -72,6 +72,7 @@ from repro.service.requests import (
     ScanRequest,
     ServiceRequest,
 )
+from repro.verify.schedule_check import ScheduleSanitizer, check_schedule
 
 
 @dataclass
@@ -113,6 +114,15 @@ class BatchExecutor:
             deterministic in ``verify_seed``, the executor's batch counter,
             and the request's position, so a run is reproducible.
         verify_seed: Seed of the verification sampler.
+        sanitize: Run the static verification layer on every dispatch:
+            the schedule race detector
+            (:class:`~repro.verify.schedule_check.ScheduleSanitizer`)
+            audits each batch's lane placements as they land (hazards,
+            causality, barrier bound, accounting), and the planner lints
+            every lowered conjunction chain before execution.  Any
+            violation raises a typed
+            :class:`~repro.verify.errors.VerifyError`.  Off by default;
+            intended for tests and benchmark certification runs.
     """
 
     def __init__(
@@ -125,6 +135,7 @@ class BatchExecutor:
         pipeline: bool = True,
         verify_fraction: float = 1.0,
         verify_seed: int = 0,
+        sanitize: bool = False,
     ) -> None:
         if not 0.0 <= verify_fraction <= 1.0:
             raise ValueError("verify_fraction must be in [0, 1]")
@@ -155,6 +166,11 @@ class BatchExecutor:
         #: Persistent per-bank lane timelines (only advanced in pipelined
         #: mode; a barrier run schedules on a fresh throwaway timeline).
         self.lanes = LaneSchedule(self.active_bank_keys())
+        self.sanitize = sanitize
+        # Incremental race detector over the persistent lanes: each batch
+        # only replays its own placements, so certifying every dispatch
+        # stays O(batch) rather than O(history).
+        self._sanitizer = ScheduleSanitizer() if sanitize else None
 
     # ------------------------------------------------------------------
     # Execution
@@ -610,6 +626,7 @@ class BatchExecutor:
         else:
             order = results
         lanes = self.lanes if self.pipeline else LaneSchedule(self.active_bank_keys())
+        lanes.open_batch()
         prev_horizon = lanes.horizon_ns()
         busy_before = lanes.busy_union_ns
         finish_max = release_ns
@@ -623,6 +640,14 @@ class BatchExecutor:
         if self.pipeline:
             lanes.cross_batch_overlap_ns += overlap
             lanes.batches += 1
+        if self._sanitizer is not None:
+            if self.pipeline:
+                # Incremental: audit only this batch's placements, then
+                # reconcile the persistent schedule's full accounting.
+                self._sanitizer.check(lanes)
+            else:
+                # The throwaway barrier schedule is complete: audit it whole.
+                check_schedule(lanes)
         return finish_max - release_ns, lanes.busy_union_ns - busy_before, overlap
 
     # ------------------------------------------------------------------

@@ -26,6 +26,15 @@ pipelining win measurable:
   before the previous batch's completion horizon, which is exactly the
   time the barrier used to waste.
 
+Every placement is additionally appended to an **interval log**
+(:attr:`LaneSchedule.log` of :class:`LanePlacement` entries) — the primary
+input of the schedule race detector
+(:mod:`repro.verify.schedule_check`), which replays the log to certify
+that no two requests overlapped on a lane, that causality held (no start
+before release, completions within the barrier bound), and that the
+busy/union/overlap accounting above reconciles with the placements that
+produced it.
+
 The schedule is deliberately policy-free: the executor decides lane
 membership (bank assignment) and request order (LPT), the frontend decides
 dispatch instants; :meth:`place` only advances the timelines.
@@ -34,7 +43,8 @@ dispatch instants; :meth:`place` only advances the timelines.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.analysis.metrics import LaneMetrics
 
@@ -43,6 +53,31 @@ from repro.analysis.metrics import LaneMetrics
 #: bank)`` tuple keys — host-only bulk operations must not contend with
 #: real bank-0 traffic.
 HOST_LANE = "host"
+
+#: Key type of a lane: a device bank key tuple, or :data:`HOST_LANE`.
+LaneKey = Hashable
+
+
+@dataclass(frozen=True)
+class LanePlacement:
+    """One scheduled request interval, as the race detector consumes it.
+
+    Attributes:
+        lanes: Lane keys the request occupied (all for ``latency_ns``).
+        latency_ns: Sequential latency charged to every occupied lane.
+        release_ns: Dispatch instant the placement was released at.
+        start_ns: Scheduled start (release + queueing behind lanes).
+        finish_ns: Scheduled finish (``start_ns + latency_ns``).
+        batch_index: Which :meth:`LaneSchedule.open_batch` window the
+            placement belongs to (0 before any batch was opened).
+    """
+
+    lanes: Tuple[LaneKey, ...]
+    latency_ns: float
+    release_ns: float
+    start_ns: float
+    finish_ns: float
+    batch_index: int
 
 
 class LaneSchedule:
@@ -54,11 +89,11 @@ class LaneSchedule:
             the first time work is placed on them.
     """
 
-    def __init__(self, lane_keys: Iterable = ()) -> None:
+    def __init__(self, lane_keys: Iterable[LaneKey] = ()) -> None:
         #: Busy-until horizon per lane (absolute virtual ns).
-        self.horizon: Dict = {key: 0.0 for key in lane_keys}
+        self.horizon: Dict[LaneKey, float] = {key: 0.0 for key in lane_keys}
         #: Total busy time charged per lane.
-        self.busy: Dict = {key: 0.0 for key in self.horizon}
+        self.busy: Dict[LaneKey, float] = {key: 0.0 for key in self.horizon}
         #: Virtual time during which at least one lane was busy (the union
         #: of all placed intervals).
         self.busy_union_ns = 0.0
@@ -68,6 +103,11 @@ class LaneSchedule:
         self.requests = 0
         #: Batches dispatched across the schedule's lifetime.
         self.batches = 0
+        #: Interval log of every placement, in placement order — the
+        #: schedule race detector's input (see module docstring).
+        self.log: List[LanePlacement] = []
+        #: Batch windows opened via :meth:`open_batch` (stamps the log).
+        self.batches_opened = 0
         # Disjoint, sorted union intervals (parallel start/end arrays).
         self._starts: List[float] = []
         self._ends: List[float] = []
@@ -75,7 +115,7 @@ class LaneSchedule:
     # ------------------------------------------------------------------
     # Horizons
     # ------------------------------------------------------------------
-    def lane_horizon_ns(self, key) -> float:
+    def lane_horizon_ns(self, key: LaneKey) -> float:
         """Busy-until horizon of one lane (0 for an untouched lane)."""
         return self.horizon.get(key, 0.0)
 
@@ -98,8 +138,19 @@ class LaneSchedule:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
+    def open_batch(self) -> int:
+        """Open the next batch window; subsequent placements are stamped
+        with its index.  Purely bookkeeping for the interval log (and the
+        race detector's per-batch barrier bound); horizons are untouched.
+        """
+        self.batches_opened += 1
+        return self.batches_opened
+
     def place(
-        self, lanes: Sequence, latency_ns: float, release_ns: float = 0.0
+        self,
+        lanes: Sequence[LaneKey],
+        latency_ns: float,
+        release_ns: float = 0.0,
     ) -> Tuple[float, float]:
         """Place one request on its lanes; returns ``(start, finish)``.
 
@@ -115,6 +166,16 @@ class LaneSchedule:
             self.busy[key] = self.busy.get(key, 0.0) + latency_ns
         self._add_interval(start, finish)
         self.requests += 1
+        self.log.append(
+            LanePlacement(
+                lanes=tuple(lanes),
+                latency_ns=latency_ns,
+                release_ns=release_ns,
+                start_ns=start,
+                finish_ns=finish,
+                batch_index=self.batches_opened,
+            )
+        )
         return start, finish
 
     def _add_interval(self, start: float, finish: float) -> float:

@@ -222,6 +222,19 @@ class BatchPlanner:
             # diverges from the plan-level model (and the functional path).
             row_size_bytes=self.executor.engine.device.geometry.row_size_bytes,
         )
+        if getattr(self.executor, "sanitize", False):
+            from repro.verify.plan_lint import lint_lowered_conjunction  # local: avoid cycle
+
+            # Certify the lowered chain statically before any step
+            # executes: topology, widths, and cost-model agreement.
+            lint_lowered_conjunction(
+                request.predicates,
+                steps,
+                result_vector,
+                plan,
+                num_rows=index.num_rows,
+                row_size_bytes=self.executor.engine.device.geometry.row_size_bytes,
+            )
         self.lowered_requests += 1
         offset = self.executor.stable_offset(index)
         indices: List[int] = []

@@ -1,0 +1,55 @@
+"""Static verification layer: plan linter + lane-schedule race detector.
+
+Two independent checkers certify the pipeline's structural invariants
+*before/independently of* execution (see :mod:`repro.verify.plan_lint`
+and :mod:`repro.verify.schedule_check`), both rejecting via the typed
+:class:`VerifyError` hierarchy.  The third sanitizer — the repo-wide AST
+invariant lint — lives in ``tools/lint_invariants.py`` because it checks
+source text, not runtime objects.
+"""
+
+from repro.verify.errors import (
+    AccountingError,
+    CausalityError,
+    ChainCycleError,
+    CostModelMismatchError,
+    DanglingOperandError,
+    LaneHazardError,
+    PlanVerifyError,
+    ScatterCoverageError,
+    ScheduleVerifyError,
+    VerifyError,
+    WidthMismatchError,
+)
+from repro.verify.plan_lint import (
+    ChainLintReport,
+    check_scatter_coverage,
+    lint_chain,
+    lint_lowered_conjunction,
+)
+from repro.verify.schedule_check import (
+    ScheduleCheckReport,
+    ScheduleSanitizer,
+    check_schedule,
+)
+
+__all__ = [
+    "AccountingError",
+    "CausalityError",
+    "ChainCycleError",
+    "ChainLintReport",
+    "CostModelMismatchError",
+    "DanglingOperandError",
+    "LaneHazardError",
+    "PlanVerifyError",
+    "ScatterCoverageError",
+    "ScheduleCheckReport",
+    "ScheduleSanitizer",
+    "ScheduleVerifyError",
+    "VerifyError",
+    "WidthMismatchError",
+    "check_scatter_coverage",
+    "check_schedule",
+    "lint_chain",
+    "lint_lowered_conjunction",
+]

@@ -1,0 +1,283 @@
+"""Static linter for lowered query plans (conjunction chains, scatters).
+
+Every tier lowers conjunctions through one path —
+:func:`repro.api.plans.lower_conjunction_steps` — and until now the only
+thing certifying a lowered chain was *dynamic*: property tests compare
+sampled functional results against the host evaluation.  This module
+checks the structural invariants **statically**, before a single step
+executes, so plan-rewriting passes (CSE, sub-chain splitting, shard
+re-placement) can be certified independently of what they compute:
+
+* **Topology** — the step chain is acyclic and topologically ordered:
+  every operand is either a *source* vector (a materialized bitmap plane)
+  or the output of an earlier step; every output is produced exactly once
+  and never feeds its own step.
+* **Widths** — every vector in the chain carries exactly the conjunction's
+  row count and the target device's row padding, end to end.
+* **Cost model** — the chain's step count and per-op breakdown match the
+  :class:`~repro.database.bitmap_index.BitmapPlan` the plan-level cost
+  model charges (the invariant the property tests pin only dynamically),
+  and match what the predicate set itself implies (``len(values) - 1``
+  ORs per predicate, ``len(predicates) - 1`` ANDs).
+* **Scatter coverage** — the shard-local sub-conjunctions of a scattered
+  request cover the full predicate set exactly once: no predicate
+  dropped, none applied twice (either would silently corrupt the gather
+  AND).
+
+All checks raise typed :class:`~repro.verify.errors.PlanVerifyError`
+subclasses; a clean chain returns a :class:`ChainLintReport` summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.database.bitmap_index import BitmapPlan
+from repro.verify.errors import (
+    ChainCycleError,
+    CostModelMismatchError,
+    DanglingOperandError,
+    ScatterCoverageError,
+    WidthMismatchError,
+)
+
+#: Bulk bitwise ops a lowered step may carry (the engine's op set).
+BULK_OPS = frozenset({"not", "and", "or", "nand", "nor", "xor", "xnor"})
+
+#: A lowered step as produced by ``lower_conjunction_steps``:
+#: ``(op, a, b, out)`` over host-only vectors.
+ChainStep = Tuple[str, BulkBitVector, Optional[BulkBitVector], BulkBitVector]
+
+#: One predicate: (column, values) — each value contributes an OR operand.
+Predicate = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass
+class ChainLintReport:
+    """Summary of one clean lowered chain.
+
+    Attributes:
+        steps: Steps in the chain.
+        sources: Distinct source vectors (materialized bitmap planes)
+            the chain consumes.
+        op_counts: Steps per op kind.
+    """
+
+    steps: int = 0
+    sources: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def lint_chain(
+    steps: Sequence[ChainStep],
+    result: BulkBitVector,
+    plan: BitmapPlan,
+    num_rows: int,
+    row_size_bytes: Optional[int] = None,
+) -> ChainLintReport:
+    """Statically certify one lowered conjunction chain.
+
+    Args:
+        steps: The lowered ``(op, a, b, out)`` steps, in execution order.
+        result: The chain's final result vector.
+        plan: The plan-level cost model the chain must match.
+        num_rows: Row count of the conjunction (every vector's width).
+        row_size_bytes: Expected row padding of every vector (taken from
+            the first vector seen when omitted).
+
+    Returns:
+        A :class:`ChainLintReport` when every invariant holds.
+
+    Raises:
+        PlanVerifyError: A typed subclass naming the violated invariant.
+    """
+    produced: Dict[int, int] = {}
+    for index, (op, _a, _b, out) in enumerate(steps):
+        if id(out) in produced:
+            raise DanglingOperandError(
+                f"step {index} rewrites the output of step {produced[id(out)]}",
+                details={"step": index, "producer": produced[id(out)]},
+            )
+        produced[id(out)] = index
+
+    sources: Dict[int, BulkBitVector] = {}
+    row_size = row_size_bytes
+    for index, (op, a, b, out) in enumerate(steps):
+        if op not in BULK_OPS:
+            raise DanglingOperandError(
+                f"step {index} carries unknown op {op!r}",
+                details={"step": index, "op": op},
+            )
+        operands = [a] if op == "not" else [a, b]
+        if op == "not" and b is not None:
+            raise DanglingOperandError(
+                f"step {index}: unary 'not' carries a second operand",
+                details={"step": index, "op": op},
+            )
+        if op != "not" and b is None:
+            raise DanglingOperandError(
+                f"step {index}: binary {op!r} is missing its second operand",
+                details={"step": index, "op": op},
+            )
+        for operand in operands:
+            assert operand is not None
+            if operand is out:
+                raise ChainCycleError(
+                    f"step {index} consumes its own output in place",
+                    details={"step": index, "op": op},
+                )
+            producer = produced.get(id(operand))
+            if producer is None:
+                sources[id(operand)] = operand
+            elif producer >= index:
+                raise ChainCycleError(
+                    f"step {index} consumes the output of step {producer}, "
+                    "which has not executed yet",
+                    details={"step": index, "producer": producer},
+                )
+        for vector in (*operands, out):
+            assert vector is not None
+            if vector.num_bits != num_rows:
+                raise WidthMismatchError(
+                    f"step {index}: operand width {vector.num_bits} != "
+                    f"conjunction rows {num_rows}",
+                    details={
+                        "step": index,
+                        "num_bits": vector.num_bits,
+                        "num_rows": num_rows,
+                    },
+                )
+            if row_size is None:
+                row_size = vector.row_size_bytes
+            elif vector.row_size_bytes != row_size:
+                raise WidthMismatchError(
+                    f"step {index}: row padding {vector.row_size_bytes} != "
+                    f"chain padding {row_size} — charged per-step cost would "
+                    "diverge from the plan-level model",
+                    details={
+                        "step": index,
+                        "row_size_bytes": vector.row_size_bytes,
+                        "expected": row_size,
+                    },
+                )
+
+    # The final result must be what the chain actually computes: the last
+    # step's output, or (for a zero-step chain) a source vector.
+    if steps:
+        last_out = steps[-1][3]
+        if result is not last_out:
+            raise DanglingOperandError(
+                "chain result is not the last step's output",
+                details={"steps": len(steps)},
+            )
+    if result.num_bits != num_rows:
+        raise WidthMismatchError(
+            f"result width {result.num_bits} != conjunction rows {num_rows}",
+            details={"num_bits": result.num_bits, "num_rows": num_rows},
+        )
+
+    # Cost-model agreement: step count and per-op breakdown must match the
+    # BitmapPlan exactly — the executor charges per step, the plan-level
+    # model per operation, and they may never drift.
+    if len(steps) != plan.total_operations:
+        raise CostModelMismatchError(
+            f"chain has {len(steps)} steps but the plan charges "
+            f"{plan.total_operations} operations",
+            details={"steps": len(steps), "plan": plan.total_operations},
+        )
+    if plan.result_bits != num_rows:
+        raise CostModelMismatchError(
+            f"plan result_bits {plan.result_bits} != conjunction rows {num_rows}",
+            details={"result_bits": plan.result_bits, "num_rows": num_rows},
+        )
+    chain_ops = Counter(op for op, _a, _b, _out in steps)
+    plan_ops: Counter = Counter()
+    for op, count in plan.operations:
+        plan_ops[op] += count
+    if chain_ops != plan_ops:
+        raise CostModelMismatchError(
+            f"chain op breakdown {dict(chain_ops)} != plan breakdown "
+            f"{dict(plan_ops)}",
+            details={"chain": dict(chain_ops), "plan": dict(plan_ops)},
+        )
+
+    return ChainLintReport(
+        steps=len(steps), sources=len(sources), op_counts=dict(chain_ops)
+    )
+
+
+def lint_lowered_conjunction(
+    predicates: Sequence[Predicate],
+    steps: Sequence[ChainStep],
+    result: BulkBitVector,
+    plan: BitmapPlan,
+    num_rows: int,
+    row_size_bytes: Optional[int] = None,
+) -> ChainLintReport:
+    """Certify a lowered conjunction against its *predicate set* too.
+
+    Beyond :func:`lint_chain`, checks that the chain shape is exactly what
+    the predicates imply: ``len(values) - 1`` OR steps per predicate and
+    ``len(predicates) - 1`` AND steps — so a lowering (or a future
+    optimizer pass) that drops or duplicates a predicate's bitmap is
+    caught even when its step count happens to match a stale plan.
+    """
+    report = lint_chain(steps, result, plan, num_rows, row_size_bytes)
+    expected_ors = sum(len(values) - 1 for _column, values in predicates)
+    expected_ands = len(predicates) - 1
+    observed_ors = report.op_counts.get("or", 0)
+    observed_ands = report.op_counts.get("and", 0)
+    if observed_ors != expected_ors or observed_ands != expected_ands:
+        raise CostModelMismatchError(
+            f"predicates imply {expected_ors} OR + {expected_ands} AND steps, "
+            f"chain has {observed_ors} OR + {observed_ands} AND",
+            details={
+                "expected": {"or": expected_ors, "and": expected_ands},
+                "observed": {"or": observed_ors, "and": observed_ands},
+            },
+        )
+    return report
+
+
+def check_scatter_coverage(
+    predicates: Sequence[Predicate],
+    parts: Sequence[Tuple[int, Sequence[Predicate]]],
+) -> None:
+    """Certify that shard-local sub-chains cover the predicate set exactly.
+
+    Args:
+        predicates: The full predicate set of the cluster-level request.
+        parts: ``(shard_id, sub_predicates)`` pairs, one per scattered
+            sub-request.
+
+    Raises:
+        ScatterCoverageError: A predicate is dropped, duplicated, invented,
+            or a shard received an empty sub-conjunction.
+    """
+    want = Counter((column, tuple(values)) for column, values in predicates)
+    got: Counter = Counter()
+    for shard_id, sub_predicates in parts:
+        if not sub_predicates:
+            raise ScatterCoverageError(
+                f"shard {shard_id} received an empty sub-conjunction",
+                details={"shard": shard_id},
+            )
+        for column, values in sub_predicates:
+            got[(column, tuple(values))] += 1
+    if got != want:
+        missing = sorted(set(want) - set(got))
+        extra = sorted(set(got) - set(want))
+        duplicated = sorted(key for key in got if got[key] > want.get(key, 0))
+        raise ScatterCoverageError(
+            "scattered sub-conjunctions do not cover the predicate set "
+            f"exactly once (missing={missing}, extra={extra}, "
+            f"duplicated={duplicated})",
+            details={
+                "missing": missing,
+                "extra": extra,
+                "duplicated": duplicated,
+            },
+        )

@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""Repo invariant lint: an AST pass over ``src/repro`` run as a CI gate.
+
+Four rules, each guarding an invariant the simulator's design depends on
+(stdlib-only; no third-party linter required):
+
+* ``mutable-default`` — a dataclass field whose default is a mutable
+  literal or a shared call result (anything but ``dataclasses.field``),
+  including ``field(default=<mutable>)``.  One instance's mutation leaks
+  into every other — the exact defect PR 1 had to hand-audit out of
+  ``tesseract/runtime.py`` and ``stacked/hmc.py``.
+* ``wall-clock`` — importing ``time``/``random`` or calling
+  ``datetime.now``/``utcnow`` inside the simulator.  The pipeline runs on
+  a *virtual* clock with seeded NumPy RNGs; wall-clock time or process
+  randomness makes runs unreproducible.
+* ``frozen-mutation`` — ``self.attr = ...`` inside a method of a
+  ``@dataclass(frozen=True)`` class: it raises ``FrozenInstanceError`` at
+  runtime, so any such line is an untested path.  The sanctioned
+  ``object.__setattr__`` idiom (used in ``__post_init__``) is not flagged.
+* ``export-drift`` — an ``__all__`` entry that is not bound at module top
+  level (or listed twice): the export list has drifted from the module.
+
+A finding is suppressed by a ``# lint: allow[<rule>]`` comment on its
+line.  Run locally with::
+
+    python tools/lint_invariants.py            # lints src/repro
+    python tools/lint_invariants.py path ...   # lints specific files/trees
+
+Exit status is 1 when any finding survives, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Rules this linter knows (the only rule names a waiver may reference).
+RULES = ("mutable-default", "wall-clock", "frozen-mutation", "export-drift")
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z-]+)\]")
+
+#: Stdlib modules whose import means wall-clock/process randomness.
+_WALL_CLOCK_MODULES = {"time", "random"}
+
+#: Mutable literal node types a default must never be.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a file/line and naming its rule."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _waivers(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules waived on that line."""
+    waived: Dict[int, Set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        for match in _WAIVER_RE.finditer(text):
+            waived.setdefault(number, set()).add(match.group(1))
+    return waived
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Dotted name of a decorator (without call parentheses)."""
+    target = node.func if isinstance(node, ast.Call) else node
+    parts: List[str] = []
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    for decorator in node.decorator_list:
+        if _decorator_name(decorator) in ("dataclass", "dataclasses.dataclass"):
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def _is_field_call(node: ast.expr) -> bool:
+    return isinstance(node, ast.Call) and _decorator_name(node) in (
+        "field",
+        "dataclasses.field",
+    )
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    """Collects findings for one parsed module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        # Frozen-dataclass nesting: methods of a frozen dataclass may not
+        # assign to self; a nested non-frozen class resets the context.
+        self._frozen_stack: List[bool] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(path=self.path, line=getattr(node, "lineno", 0), rule=rule, message=message)
+        )
+
+    # -- mutable-default + frozen context ------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        decorator = _dataclass_decorator(node)
+        if decorator is not None:
+            self._check_dataclass_defaults(node)
+        self._frozen_stack.append(decorator is not None and _is_frozen(decorator))
+        self.generic_visit(node)
+        self._frozen_stack.pop()
+
+    def _check_dataclass_defaults(self, node: ast.ClassDef) -> None:
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                self._check_default(statement.value)
+            elif isinstance(statement, ast.Assign):
+                self._check_default(statement.value)
+
+    def _check_default(self, value: ast.expr) -> None:
+        if _is_field_call(value):
+            assert isinstance(value, ast.Call)
+            for keyword in value.keywords:
+                if keyword.arg == "default" and self._is_shared_mutable(keyword.value):
+                    self._add(
+                        keyword.value,
+                        "mutable-default",
+                        "field(default=...) holds a mutable value shared by "
+                        "every instance; use default_factory",
+                    )
+            return
+        if self._is_shared_mutable(value):
+            self._add(
+                value,
+                "mutable-default",
+                "dataclass default is a mutable/shared object (every instance "
+                "aliases it); use dataclasses.field(default_factory=...)",
+            )
+
+    @staticmethod
+    def _is_shared_mutable(value: ast.expr) -> bool:
+        if isinstance(value, _MUTABLE_LITERALS):
+            return True
+        # Any call result bound in the class body is evaluated once and
+        # shared by every instance — mutable or not, it is an aliasing
+        # hazard (and the immutable cases belong in a plain constant).
+        return isinstance(value, ast.Call)
+
+    # -- wall-clock ----------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _WALL_CLOCK_MODULES:
+                self._add(
+                    node,
+                    "wall-clock",
+                    f"import of {alias.name!r}: the simulator runs on a virtual "
+                    "clock with seeded NumPy RNGs",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if node.level == 0 and root in _WALL_CLOCK_MODULES:
+            self._add(
+                node,
+                "wall-clock",
+                f"import from {node.module!r}: the simulator runs on a virtual "
+                "clock with seeded NumPy RNGs",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _decorator_name(node)
+        if name.endswith((".now", ".utcnow")) and "datetime" in name:
+            self._add(node, "wall-clock", f"call of {name}: wall-clock reads are unreproducible")
+        self.generic_visit(node)
+
+    # -- frozen-mutation -----------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_self_assign(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_self_assign(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_self_assign(node, [node.target])
+        self.generic_visit(node)
+
+    def _check_self_assign(self, node: ast.AST, targets: Sequence[ast.expr]) -> None:
+        if not (self._frozen_stack and self._frozen_stack[-1]):
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._add(
+                    node,
+                    "frozen-mutation",
+                    f"assignment to self.{target.attr} inside a frozen dataclass "
+                    "raises FrozenInstanceError at runtime",
+                )
+
+
+def _check_export_drift(path: str, tree: ast.Module, findings: List[Finding]) -> None:
+    """``__all__`` names must each be bound once at module top level."""
+    exported: Optional[ast.expr] = None
+    bound: Set[str] = set()
+    for statement in tree.body:
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            for alias in statement.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(statement.name)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                    if target.id == "__all__":
+                        exported = statement.value
+        elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            bound.add(statement.target.id)
+    if exported is None or not isinstance(exported, (ast.List, ast.Tuple)):
+        return
+    seen: Set[str] = set()
+    for element in exported.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            continue
+        name = element.value
+        if name in seen:
+            findings.append(
+                Finding(path, element.lineno, "export-drift", f"__all__ lists {name!r} twice")
+            )
+        seen.add(name)
+        if name not in bound:
+            findings.append(
+                Finding(
+                    path,
+                    element.lineno,
+                    "export-drift",
+                    f"__all__ exports {name!r} but the module never binds it "
+                    "at top level",
+                )
+            )
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one module's source text; returns surviving findings."""
+    tree = ast.parse(source, filename=path)
+    linter = _ModuleLinter(path)
+    linter.visit(tree)
+    findings = linter.findings
+    _check_export_drift(path, tree, findings)
+    waived = _waivers(source)
+    return [f for f in findings if f.rule not in waived.get(f.line, set())]
+
+
+def collect_findings(paths: Iterable[Path]) -> List[Finding]:
+    """Lint files/trees; directories are walked for ``*.py``."""
+    findings: List[Finding] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    targets = [Path(arg) for arg in argv] or [Path("src/repro")]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(f"lint_invariants: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    findings = collect_findings(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: clean ({', '.join(map(str, targets))})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Validate emitted ``BENCH_*.json`` trajectories against small schemas.
+
+The benchmarks emit machine-readable perf trajectories (see
+``benchmarks/_bench_utils.emit_json``) that CI archives and diffs across
+runs.  A malformed payload — a missing field after a refactor, a NaN from
+a division by an empty window, a stringified number — previously uploaded
+silently and poisoned every later comparison.  This tool makes CI fail
+instead::
+
+    python tools/validate_bench.py BENCH_*.json
+
+Each file is checked against the schema registered for its name
+(``BENCH_<name>.json``); unknown names still get the generic sweep.  Two
+layers of checking:
+
+* a **generic sweep** over every payload: valid JSON, an object at the
+  top level, and every number finite (``NaN``/``Infinity`` literals are
+  rejected at parse time — Python's ``json`` accepts them by default,
+  which is exactly how a NaN sneaks into a trajectory);
+* a **per-benchmark schema** (a hand-rolled subset of JSON Schema:
+  ``type``, ``required``, ``properties``, ``patternProperties``,
+  ``additionalProperties``, ``items``, ``minimum``) pinning the fields
+  the trajectory diffing relies on.
+
+Stdlib-only on purpose: the CI lint job must not grow dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+JsonSchema = Dict[str, Any]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate(instance: Any, schema: JsonSchema, path: str = "$") -> List[str]:
+    """Validate ``instance`` against the mini-schema; returns error strings."""
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        if expected == "number":
+            ok = isinstance(instance, (int, float)) and not isinstance(instance, bool)
+        elif expected == "integer":
+            ok = isinstance(instance, int) and not isinstance(instance, bool)
+        else:
+            ok = isinstance(instance, _TYPES[expected])
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(instance).__name__}")
+            return errors
+    if "minimum" in schema and isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} is below minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties: Dict[str, JsonSchema] = schema.get("properties", {})
+        patterns: Dict[str, JsonSchema] = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties")
+        for name, value in instance.items():
+            child = f"{path}.{name}"
+            if name in properties:
+                errors.extend(validate(value, properties[name], child))
+                continue
+            matched = False
+            for pattern, sub_schema in patterns.items():
+                if re.search(pattern, name):
+                    errors.extend(validate(value, sub_schema, child))
+                    matched = True
+                    break
+            if matched:
+                continue
+            if additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child))
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+# ---------------------------------------------------------------------
+# Per-benchmark schemas
+# ---------------------------------------------------------------------
+_COUNT = {"type": "integer", "minimum": 0}
+_NS = {"type": "number", "minimum": 0}
+_NUMBER = {"type": "number"}
+
+#: Per-mode block of the pipeline A/B benchmark.
+_PIPELINE_MODE: JsonSchema = {
+    "type": "object",
+    "required": [
+        "completed",
+        "rejected",
+        "batches",
+        "throughput_gb_s",
+        "sojourn_p50_us",
+        "sojourn_p99_us",
+        "makespan_ms",
+        "busy_ms",
+        "bank_idle_fraction",
+        "cross_batch_overlap_ms",
+    ],
+    "properties": {
+        "completed": _COUNT,
+        "rejected": _COUNT,
+        "batches": _COUNT,
+        "throughput_gb_s": _NS,
+        "sojourn_p50_us": _NS,
+        "sojourn_p99_us": _NS,
+        "makespan_ms": _NS,
+        "busy_ms": _NS,
+        "bank_idle_fraction": _NUMBER,
+        "cross_batch_overlap_ms": _NS,
+    },
+}
+
+#: Per-shard-count block of the cluster scaling benchmark.
+_CLUSTER_POINT: JsonSchema = {
+    "type": "object",
+    "required": [
+        "offered",
+        "completed",
+        "rejected",
+        "throughput_gb_s",
+        "sojourn_p50_us",
+        "sojourn_p99_us",
+        "makespan_ms",
+        "busy_ms",
+        "mean_utilization",
+        "imbalance",
+        "host_merge_us",
+    ],
+    "properties": {
+        "offered": _COUNT,
+        "completed": _COUNT,
+        "rejected": _COUNT,
+        "throughput_gb_s": _NS,
+        "mean_utilization": _NUMBER,
+        "imbalance": _NUMBER,
+        "host_merge_us": _NS,
+    },
+    "additionalProperties": _NUMBER,
+}
+
+SCHEMAS: Dict[str, JsonSchema] = {
+    "pipeline": {
+        "type": "object",
+        "required": ["barrier", "pipelined", "pipelined_vs_barrier_throughput"],
+        "properties": {
+            "barrier": _PIPELINE_MODE,
+            "pipelined": _PIPELINE_MODE,
+            "pipelined_vs_barrier_throughput": {"type": "number", "minimum": 0},
+        },
+        "additionalProperties": False,
+    },
+    "cluster": {
+        "type": "object",
+        "required": ["shard_counts", "scaling_speedup"],
+        "properties": {
+            "shard_counts": {"type": "array", "items": {"type": "integer", "minimum": 1}},
+            "scaling_speedup": {"type": "number", "minimum": 0},
+        },
+        "patternProperties": {r"^shards_\d+$": _CLUSTER_POINT},
+        "additionalProperties": False,
+    },
+    "service_frontend": {
+        "type": "object",
+        "required": [
+            "offered",
+            "completed",
+            "rejected",
+            "batches",
+            "deadline_misses",
+            "throughput_gb_s",
+            "speedup_vs_sequential",
+            "wait_p50_us",
+            "wait_p99_us",
+            "sojourn_p50_us",
+            "sojourn_p99_us",
+        ],
+        "properties": {
+            "offered": _COUNT,
+            "completed": _COUNT,
+            "rejected": _COUNT,
+            "batches": _COUNT,
+            "deadline_misses": _COUNT,
+            "throughput_gb_s": _NS,
+            "speedup_vs_sequential": _NS,
+        },
+        "additionalProperties": _NUMBER,
+    },
+}
+
+
+def _reject_constant(value: str) -> float:
+    raise ValueError(f"non-finite number {value!r} in payload")
+
+
+def _sweep_finite(instance: Any, path: str = "$") -> List[str]:
+    """Generic sweep: every number in the payload must be finite."""
+    errors: List[str] = []
+    if isinstance(instance, bool):
+        return errors
+    if isinstance(instance, float) and instance != instance:
+        errors.append(f"{path}: NaN value")
+    elif isinstance(instance, float) and instance in (float("inf"), float("-inf")):
+        errors.append(f"{path}: infinite value")
+    elif isinstance(instance, dict):
+        for name, value in instance.items():
+            errors.extend(_sweep_finite(value, f"{path}.{name}"))
+    elif isinstance(instance, list):
+        for index, item in enumerate(instance):
+            errors.extend(_sweep_finite(item, f"{path}[{index}]"))
+    return errors
+
+
+def validate_file(path: Path) -> List[str]:
+    """Validate one BENCH_*.json file; returns error strings."""
+    match = re.fullmatch(r"BENCH_(.+)\.json", path.name)
+    if match is None:
+        return [f"{path}: not named BENCH_<name>.json"]
+    try:
+        payload = json.loads(path.read_text(), parse_constant=_reject_constant)
+    except ValueError as error:
+        return [f"{path}: {error}"]
+    errors = [f"{path}: {e}" for e in _sweep_finite(payload)]
+    if not isinstance(payload, dict):
+        errors.append(f"{path}: top level must be a JSON object")
+        return errors
+    schema = SCHEMAS.get(match.group(1))
+    if schema is not None:
+        errors.extend(f"{path}: {e}" for e in validate(payload, schema))
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: validate_bench.py BENCH_*.json", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            failures.append(f"{path}: no such file")
+            continue
+        failures.extend(validate_file(path))
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"validate_bench: {len(failures)} error(s)", file=sys.stderr)
+        return 1
+    print(f"validate_bench: {len(argv)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
