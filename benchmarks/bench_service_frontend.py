@@ -87,7 +87,9 @@ def _run_experiment(system):
     # unified client API (the same loop drives the cluster benchmark).
     session = PimSession(
         ServiceFrontend(
-            executor=BatchExecutor(engine=ambit),
+            # sanitize=True: every dispatched schedule is replayed by the
+            # race detector — the benchmark numbers are certified ones.
+            executor=BatchExecutor(engine=ambit, sanitize=True),
             policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
             max_queue_depth=MAX_QUEUE_DEPTH,
         ),

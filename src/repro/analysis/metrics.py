@@ -96,6 +96,10 @@ class BatchMetrics:
         cross_batch_overlap_ns: Work of this batch that ran before the
             previous batch's completion horizon (0 without pipelining) —
             the time a barrier would have wasted.
+        ops_eliminated: Device ops the batch plan optimizer removed from
+            the batch's unoptimized plan total (cross-request CSE).
+        shared_subchains: Predicate sub-chains served from another
+            request's lowering instead of re-executing.
         notes: Free-form annotation.
     """
 
@@ -108,6 +112,8 @@ class BatchMetrics:
     per_request: List[OperationMetrics] = field(default_factory=list)
     device_busy_ns: Optional[float] = None
     cross_batch_overlap_ns: float = 0.0
+    ops_eliminated: int = 0
+    shared_subchains: int = 0
     notes: str = ""
 
     @property
@@ -240,6 +246,13 @@ class QueueMetrics:
         energy_j: Total energy of the completed requests (identical to
             sequential execution; batching never changes it).
         batches: Number of batches the planner closed.
+        host_merge_ns: Host time charged for result merges (the
+            optimizer's split-mode cross-predicate joins here; the gather
+            merge tree at the cluster tier).
+        ops_eliminated: Device ops the batch plan optimizer removed
+            across the completed requests (cross-request CSE).
+        shared_subchains: Predicate sub-chains completed requests served
+            from another request's lowering.
     """
 
     name: str
@@ -258,6 +271,9 @@ class QueueMetrics:
     serial_latency_ns: float = 0.0
     energy_j: float = 0.0
     batches: int = 0
+    host_merge_ns: float = 0.0
+    ops_eliminated: int = 0
+    shared_subchains: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -335,6 +351,9 @@ def summarize_envelopes(records: Sequence) -> Dict:
         sojourn_p99_ns=percentile([r.sojourn_ns for r in completed], 99) or 0.0,
         serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
         energy_j=sum(r.metrics.energy_j for r in completed),
+        host_merge_ns=sum(getattr(r, "host_merge_ns", 0.0) for r in completed),
+        ops_eliminated=sum(getattr(r, "ops_eliminated", 0) for r in completed),
+        shared_subchains=sum(getattr(r, "shared_subchains", 0) for r in completed),
     )
 
 
@@ -399,6 +418,10 @@ class ClusterMetrics:
             pairwise in parallel, so each record is charged
             ``ceil(log2(fanout))`` levels of the cluster frontend's
             ``merge_ns_per_op`` knob rather than one per merge op.
+        ops_eliminated: Device ops the shard-local batch plan optimizers
+            removed across the completed requests (cross-request CSE).
+        shared_subchains: Predicate sub-chains completed requests served
+            from another request's lowering on some shard.
         per_shard: Each shard frontend's own queueing summary.
     """
 
@@ -423,6 +446,8 @@ class ClusterMetrics:
     cross_shard_fanout: float = 0.0
     merge_ops: int = 0
     host_merge_ns: float = 0.0
+    ops_eliminated: int = 0
+    shared_subchains: int = 0
     per_shard: List[QueueMetrics] = field(default_factory=list)
 
     @property
@@ -488,7 +513,8 @@ class ClusterMetrics:
                 else 0.0
             ),
             merge_ops=merge_ops,
-            host_merge_ns=sum(getattr(r, "host_merge_ns", 0.0) for r in completed),
+            # host_merge_ns / ops_eliminated / shared_subchains arrive via
+            # the shared envelope summary below.
             per_shard=list(per_shard),
             **summarize_envelopes(records),
         )

@@ -213,18 +213,10 @@ def lower_conjunction_steps(
     operations: List[Tuple[str, int]] = []
     partials: List[BulkBitVector] = []
     for column, values in predicates:
-        values = list(values)
-        if not values:
-            raise ValueError(f"predicate on {column!r} has no values")
-        acc = _bitmap_vector(index, column, values[0], row_size_bytes)
-        for value in values[1:]:
-            out = BulkBitVector(num_rows, row_size_bytes)
-            steps.append(
-                ("or", acc, _bitmap_vector(index, column, value, row_size_bytes), out)
-            )
-            acc = out
-        if len(values) > 1:
-            operations.append(("or", len(values) - 1))
+        sub_steps, acc = lower_predicate_steps(index, column, values, row_size_bytes)
+        steps.extend(sub_steps)
+        if sub_steps:
+            operations.append(("or", len(sub_steps)))
         partials.append(acc)
     result = partials[0]
     for partial in partials[1:]:
@@ -235,6 +227,45 @@ def lower_conjunction_steps(
         operations.append(("and", len(predicates) - 1))
     plan = BitmapPlan(operations=operations, result_bits=num_rows)
     return steps, result, plan
+
+
+def lower_predicate_steps(
+    index: Any,
+    column: str,
+    values: Sequence[int],
+    row_size_bytes: int = 8192,
+) -> Tuple[List[LoweredStep], BulkBitVector]:
+    """Lower one predicate's OR chain: ``col IN values`` as bulk steps.
+
+    The independent sub-chain of one conjunction predicate — this is the
+    unit the batch plan optimizer shares across requests (CSE) and spreads
+    across bank lanes (sub-chain splitting).  Steps are data-dependent in
+    order; with a single value the step list is empty and the result is
+    the value's bitmap vector itself.
+
+    Args:
+        index: The bitmap source (see :func:`lower_conjunction_steps`).
+        column: Predicate column.
+        values: The ``IN`` set (must be non-empty).
+        row_size_bytes: Row size of the target device.
+
+    Returns:
+        (steps, result vector): ``len(values) - 1`` OR steps and the
+        vector holding the predicate's result bitmap.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError(f"predicate on {column!r} has no values")
+    num_rows = index.num_rows
+    steps: List[LoweredStep] = []
+    acc = _bitmap_vector(index, column, values[0], row_size_bytes)
+    for value in values[1:]:
+        out = BulkBitVector(num_rows, row_size_bytes)
+        steps.append(
+            ("or", acc, _bitmap_vector(index, column, value, row_size_bytes), out)
+        )
+        acc = out
+    return steps, acc
 
 
 def _bitmap_vector(index: Any, column: str, value: int, row_size_bytes: int) -> BulkBitVector:

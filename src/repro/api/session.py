@@ -260,6 +260,9 @@ _SHARED_METRIC_FIELDS = (
     "busy_ns",
     "serial_latency_ns",
     "energy_j",
+    "host_merge_ns",
+    "ops_eliminated",
+    "shared_subchains",
 )
 
 
@@ -349,7 +352,8 @@ class PimSession:
         (see :class:`~repro.service.executor.BatchExecutor`); other
         keyword arguments go to the frontend (``policy``,
         ``max_queue_depth``, ``max_backlog_ns``, ``functional``,
-        ``shed_low_priority``).
+        ``shed_low_priority``, ``optimize`` for the batch plan
+        optimizer).
         """
         from repro.service.executor import BatchExecutor  # local: avoid cycle
         from repro.service.frontend import ServiceFrontend  # local: avoid cycle
@@ -371,7 +375,8 @@ class PimSession:
 
         Keyword arguments go to the cluster frontend (``router``,
         ``engine_factory``, ``policy``, admission knobs,
-        ``merge_ns_per_op``).
+        ``merge_ns_per_op``, ``optimize`` for shard-local batch plan
+        optimizers).
         """
         from repro.cluster.frontend import ClusterFrontend  # local: avoid cycle
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from repro.service.requests import (
     QueuedRequest,
     ScanRequest,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.passes import OptimizerConfig
 
 
 @dataclass
@@ -85,6 +88,9 @@ class ClusterRecord:
         host_merge_ns: Host time charged for this record's gather-side
             AND-merges (``merge_ns_per_op`` per merge; 0 for a single
             part).  Included in ``finish_ns`` and therefore the sojourn.
+            Shard-local host merges (the plan optimizer's split-mode
+            joins) are already inside each part's finish and roll up in
+            the per-shard :class:`~repro.analysis.metrics.QueueMetrics`.
         start_ns / finish_ns: First part's service start / last part's
             finish plus the host merge time (NaN before service).
     """
@@ -113,6 +119,16 @@ class ClusterRecord:
     def fanout(self) -> int:
         """Shards this request touched."""
         return len(self.shard_ids)
+
+    @property
+    def ops_eliminated(self) -> int:
+        """Device ops shard-local plan optimizers removed across the parts."""
+        return sum(p.ops_eliminated for p in self.parts)
+
+    @property
+    def shared_subchains(self) -> int:
+        """Sub-chains the parts served from another request's lowering."""
+        return sum(p.shared_subchains for p in self.parts)
 
     @property
     def wait_ns(self) -> float:
@@ -202,6 +218,12 @@ class ClusterFrontend:
             bitmap through host memory (read two operands, write one
             result at tens of GB/s); 0 restores the pre-costing
             behaviour.
+        optimize: Enable the batch plan optimizer on every shard's
+            planner: ``True`` for the default
+            :class:`~repro.optimizer.OptimizerConfig`, or an explicit
+            config.  Each shard's batches CSE and split shard-locally
+            (over its own shard views and bank lanes); the gather path is
+            untouched.  Ignored for pre-built ``shards``.
     """
 
     #: Default host cost of AND-merging two 8 KiB partial bitmaps.
@@ -221,6 +243,7 @@ class ClusterFrontend:
         sanitize: bool = False,
         shards: Optional[List[ServiceFrontend]] = None,
         merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
+        optimize: Union[bool, "OptimizerConfig"] = False,
     ) -> None:
         if merge_ns_per_op < 0.0:
             raise ValueError("merge_ns_per_op must be non-negative")
@@ -244,6 +267,7 @@ class ClusterFrontend:
                     max_backlog_ns=max_backlog_ns,
                     functional=functional,
                     shed_low_priority=shed_low_priority,
+                    optimize=optimize,
                 )
                 for _ in range(num_shards)
             ]

@@ -1,0 +1,20 @@
+"""Batch plan optimizer: cross-request CSE and sub-chain splitting.
+
+The passes here rewrite one batch's lowered plans between the
+:class:`~repro.service.planner.BatchPlanner` closing the batch and the
+:class:`~repro.service.executor.BatchExecutor` dispatching it.  Enable
+them with ``optimize=True`` (or an explicit :class:`OptimizerConfig`) on
+:class:`~repro.service.frontend.ServiceFrontend`,
+:class:`~repro.cluster.frontend.ClusterFrontend`, or the
+:class:`~repro.api.session.PimSession` constructors.
+"""
+
+from repro.optimizer.canonical import canonical_key, predicate_key
+from repro.optimizer.passes import BatchOptimizer, OptimizerConfig
+
+__all__ = [
+    "BatchOptimizer",
+    "OptimizerConfig",
+    "canonical_key",
+    "predicate_key",
+]

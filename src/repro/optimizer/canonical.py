@@ -1,0 +1,71 @@
+"""Canonical structural keys for predicate sub-chains.
+
+Common-subexpression elimination works on *structure*: two sub-chains may
+be shared when they compute the same bitmap from the same source planes.
+This module assigns every sub-chain a canonical, hashable key such that
+structurally equal chains — up to the algebraic identities the bulk
+bitwise op set guarantees — collide:
+
+* **Commutative reordering** — AND/OR/XOR (and their complements) are
+  commutative and associative over bitmaps, so operand keys are sorted
+  before keying; ``a AND b`` and ``b AND a`` share.  The optimizer also
+  lowers each conjunction's predicates in canonical-key order, so two
+  requests listing the same predicates in different order build the same
+  left-deep AND spine key by key.
+* **Fused-NOT normalization** — a double complement is the identity:
+  ``NOT (NOT x)`` keys as ``x``, so a chain reaching through a fused
+  complement shares with the chain that never complemented at all.
+* **Value-set normalization** — a predicate ``col IN values`` keys on the
+  *sorted* value tuple: the OR of value bitmaps is order-insensitive.
+  The multiset is preserved (no deduplication), so the unoptimized cost
+  model of a single request is untouched by keying alone.
+
+Keys are plain nested tuples (hashable, comparable by ``repr``), scoped
+by the identity of the bitmap source so two different indexes never
+share a chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+#: A canonical sub-chain key: a nested tuple of op names, source ids,
+#: column names and value tuples.  Only equality/hashing semantics
+#: matter; the structure is an implementation detail.
+Key = Tuple[Any, ...]
+
+#: Ops whose operand order never changes the result bitmap.
+COMMUTATIVE_OPS = frozenset({"and", "or", "xor", "nand", "nor", "xnor"})
+
+
+def predicate_key(index: object, column: str, values: Sequence[int]) -> Key:
+    """Canonical key of one ``col IN values`` predicate sub-chain.
+
+    Scoped by the bitmap source's identity (two indexes never share),
+    with the value multiset sorted (OR is order-insensitive).
+    """
+    return ("in", id(index), column, tuple(sorted(values)))
+
+
+def canonical_key(op: str, operands: Sequence[Key]) -> Key:
+    """Canonical key of one op over already-keyed operands.
+
+    Sorts operand keys for commutative ops and collapses the fused
+    double complement ``NOT (NOT x)`` to ``x``.
+    """
+    if op == "not":
+        (operand,) = operands
+        if len(operand) == 2 and operand[0] == "not":
+            inner: Key = operand[1]
+            return inner
+        return ("not", operand)
+    if op in COMMUTATIVE_OPS:
+        ordered: Tuple[Key, ...] = tuple(sorted(operands, key=repr))
+    else:
+        ordered = tuple(operands)
+    return (op,) + ordered
+
+
+def sort_token(key: Key) -> str:
+    """Deterministic total-order token for heterogeneous keys."""
+    return repr(key)

@@ -1,0 +1,391 @@
+"""The batch plan optimizer: CSE and sub-chain splitting over one batch.
+
+:class:`BatchOptimizer` sits between the
+:class:`~repro.service.planner.BatchPlanner` closing a batch and the
+:class:`~repro.service.executor.BatchExecutor` dispatching it.  Instead of
+lowering each :class:`~repro.service.requests.BitmapConjunctionRequest`
+into its own isolated chain, the optimizer lowers the whole batch into one
+shared step DAG:
+
+* **Cross-request CSE** — every predicate sub-chain (``col IN values``)
+  is keyed canonically (:mod:`repro.optimizer.canonical`: sorted value
+  multisets, commutative AND reordering, fused-NOT normalization); a
+  sub-chain another request of the batch already lowered is *consumed*
+  rather than re-emitted, and the consumer rides the producer's result
+  vector.  In unsplit mode the left-deep AND spine is CSE'd too (the
+  predicates are lowered in canonical order, so equal conjunction
+  prefixes share step for step — a fully duplicate request emits zero
+  device ops).
+* **Sub-chain splitting** — a conjunction's predicate sub-chains are
+  mutually independent, so in split mode each lands on its own bank
+  offset, chosen cheapest-horizon-first from the executor's persistent
+  :class:`~repro.service.lanes.LaneSchedule`; the request overlaps with
+  *itself* across lanes.  The cross-predicate AND then happens host-side
+  in the group's finalize, charged as a pairwise merge tree
+  (``ceil(log2(fan_in))`` levels of ``merge_ns_per_op``) — the identical
+  model the cluster gather path charges.
+* **Cost ledger** — every request's charged ops are its *owned* steps
+  plus its host joins; the difference to the unoptimized plan total is
+  recorded as ``ops_eliminated`` (and every shared sub-chain as
+  ``shared_subchains``).  Under ``sanitize=True`` the whole batch DAG is
+  certified by :func:`repro.verify.plan_lint.lint_optimized_batch`
+  before a single step executes.
+
+Emitted steps carry ``after`` dependencies (batch-local producer
+indices), so the executor's schedule keeps cross-lane consumers behind
+their producers' finish times — causality the schedule race detector
+then independently replays.
+
+The optimizer never changes *what* is computed: AND/OR are commutative
+and associative over bitmaps, sharing only reuses an identical result
+vector, and splitting only moves sub-chains between lanes.  Property
+tests pin bit-exactness against unoptimized lowering on both tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.ambit.bitvector import BulkBitVector
+from repro.analysis.metrics import OperationMetrics
+from repro.api.plans import lower_predicate_steps
+from repro.optimizer.canonical import Key, canonical_key, predicate_key, sort_token
+from repro.service.planner import LoweredGroup
+from repro.service.requests import (
+    BitmapConjunctionRequest,
+    BulkOpRequest,
+    QueuedRequest,
+    RequestResult,
+    ServiceRequest,
+)
+from repro.verify.plan_lint import (
+    ChainStep,
+    OptimizedBatchReport,
+    OptimizedRequestView,
+    lint_optimized_batch,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Knobs of the batch plan optimizer.
+
+    Attributes:
+        cse: Share identical predicate sub-chains (and, in unsplit mode,
+            equal AND prefixes) across the batch's requests.
+        split_subchains: Spread one conjunction's independent sub-chains
+            across bank lanes and join them host-side, instead of
+            pinning the whole chain to one bank offset.
+        max_split_lanes: Most distinct bank offsets one request may fan
+            its sub-chains across (further sub-chains reuse the
+            cheapest of those offsets).
+        merge_ns_per_op: Host cost per level of the split join's pairwise
+            merge tree (the cluster gather path's model and default).
+    """
+
+    cse: bool = True
+    split_subchains: bool = True
+    max_split_lanes: int = 4
+    merge_ns_per_op: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.max_split_lanes < 1:
+            raise ValueError("max_split_lanes must be at least 1")
+        if self.merge_ns_per_op < 0.0:
+            raise ValueError("merge_ns_per_op must be non-negative")
+
+
+@dataclass
+class _Node:
+    """One materialized sub-chain result in the batch DAG.
+
+    Attributes:
+        key: Canonical structural key (the CSE cache key).
+        vector: The vector holding the sub-chain's result bitmap.
+        cone: Batch-step indices of every step producing the result
+            (sorted; empty when the vector is a source bitmap).
+        producer: The step producing ``vector`` (None for a source).
+    """
+
+    key: Key
+    vector: BulkBitVector
+    cone: Tuple[int, ...]
+    producer: Optional[int]
+
+
+class BatchOptimizer:
+    """Lowers one batch's conjunctions into a shared, lane-spread DAG.
+
+    One optimizer instance lives on a :class:`BatchPlanner`; its CSE
+    cache and lane-load tracker are *batch-scoped* (reset by
+    :meth:`open_batch`), so sharing never reaches across dispatches —
+    a result vector only exists while its batch executes.
+
+    Args:
+        config: Optimizer knobs (all passes on by default).
+    """
+
+    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+        self.config = config or OptimizerConfig()
+        self._executor: Any = None
+        self._cache: Dict[Key, _Node] = {}
+        self._steps: Dict[int, ChainStep] = {}
+        self._views: List[OptimizedRequestView] = []
+        self._assigned: Dict[int, float] = {}
+        #: Batches optimized across the optimizer's lifetime.
+        self.batches = 0
+        #: Device ops eliminated across the optimizer's lifetime.
+        self.ops_eliminated = 0
+        #: Sub-chains served from a shared producer across the lifetime.
+        self.shared_subchains = 0
+
+    # ------------------------------------------------------------------
+    # Batch lifecycle
+    # ------------------------------------------------------------------
+    def open_batch(self, executor: Any) -> None:
+        """Reset the batch-scoped state; subsequent lowerings share."""
+        self._executor = executor
+        self._cache = {}
+        self._steps = {}
+        self._views = []
+        self._assigned = {}
+        self.batches += 1
+
+    def lint_batch(self, row_size_bytes: Optional[int] = None) -> Optional[OptimizedBatchReport]:
+        """Certify the open batch's DAG (None when nothing was lowered)."""
+        if not self._views:
+            return None
+        return lint_optimized_batch(self._steps, self._views, row_size_bytes=row_size_bytes)
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def lower_conjunction(
+        self, queued: QueuedRequest, primitives: List[ServiceRequest]
+    ) -> LoweredGroup:
+        """Lower one conjunction into the open batch's shared DAG.
+
+        Appends the request's fresh steps to ``primitives`` and returns
+        the :class:`LoweredGroup` carrying its cost ledger and finalize.
+        """
+        request = queued.request
+        assert isinstance(request, BitmapConjunctionRequest)
+        executor = self._executor
+        index = request.index
+        num_rows: int = index.num_rows
+        row_size: int = executor.engine.device.geometry.row_size_bytes
+        packed_bytes = (num_rows + 7) // 8
+        rows = max(1, -(-packed_bytes // row_size))
+        plan_total = sum(len(values) - 1 for _c, values in request.predicates) + (
+            len(request.predicates) - 1
+        )
+
+        own: List[int] = []
+        shared = 0
+        # Canonical commutative reordering: lowering predicates in key
+        # order makes equal conjunctions build identical AND spines.
+        keyed = sorted(
+            (
+                (predicate_key(index, column, values), column, values)
+                for column, values in request.predicates
+            ),
+            key=lambda item: sort_token(item[0]),
+        )
+
+        base: int = executor.stable_offset(index)
+        parts: List[_Node] = []
+        for pkey, column, values in keyed:
+            node = self._cache.get(pkey) if self.config.cse else None
+            if node is None:
+                offset = self._choose_offset(executor, base, rows)
+                node = self._emit_predicate(
+                    pkey, index, column, values, row_size, rows, offset, primitives, own
+                )
+                if self.config.cse:
+                    self._cache[pkey] = node
+            else:
+                shared += 1
+            parts.append(node)
+
+        if self.config.split_subchains:
+            finals = parts
+            host_join_ops = max(0, len(parts) - 1)
+            host_merge_ns = (
+                (len(parts) - 1).bit_length() * self.config.merge_ns_per_op
+                if host_join_ops
+                else 0.0
+            )
+        else:
+            # Left-deep AND spine over the canonically ordered parts, with
+            # equal prefixes CSE'd across requests.
+            acc = parts[0]
+            for part in parts[1:]:
+                akey = canonical_key("and", (acc.key, part.key))
+                node = self._cache.get(akey) if self.config.cse else None
+                if node is None:
+                    node = self._emit_and(
+                        akey, acc, part, num_rows, row_size, base, primitives, own
+                    )
+                    if self.config.cse:
+                        self._cache[akey] = node
+                else:
+                    shared += 1
+                acc = node
+            finals = [acc]
+            host_join_ops = 0
+            host_merge_ns = 0.0
+
+        cone: Set[int] = set()
+        for node in finals:
+            cone.update(node.cone)
+        deps = tuple(sorted(cone - set(own)))
+        ops_eliminated = plan_total - len(own) - host_join_ops
+        vectors = tuple(node.vector for node in finals)
+
+        view = OptimizedRequestView(
+            predicates=request.predicates,
+            num_rows=num_rows,
+            plan_total=plan_total,
+            own_indices=tuple(own),
+            dep_indices=deps,
+            part_vectors=vectors,
+            host_join_ops=host_join_ops,
+            ops_eliminated=ops_eliminated,
+            shared_subchains=shared,
+        )
+        self._views.append(view)
+        self.ops_eliminated += ops_eliminated
+        self.shared_subchains += shared
+
+        def finalize(results: List[RequestResult]) -> Any:
+            if len(vectors) == 1:
+                return vectors[0].data[:packed_bytes].copy()
+            return np.bitwise_and.reduce([v.data[:packed_bytes] for v in vectors])
+
+        zero_cost = None
+        if not own:
+            # Everything this request needs was already lowered by the
+            # batch (or it is a single-bitmap identity): zero device ops
+            # run on its account, exactly as the ledger declares.
+            what = "shared" if deps else "identity"
+            zero_cost = OperationMetrics(
+                name="bitmap_conjunction",
+                latency_ns=0.0,
+                energy_j=0.0,
+                bytes_produced=packed_bytes,
+                notes=f"{plan_total} bulk ops ({what})",
+            )
+        return LoweredGroup(
+            queued=queued,
+            indices=own,
+            finalize=finalize,
+            zero_cost_metrics=zero_cost,
+            dep_indices=list(deps),
+            host_merge_ns=host_merge_ns,
+            host_join_ops=host_join_ops,
+            ops_eliminated=ops_eliminated,
+            shared_subchains=shared,
+        )
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit_predicate(
+        self,
+        pkey: Key,
+        index: Any,
+        column: str,
+        values: Tuple[int, ...],
+        row_size: int,
+        rows: int,
+        offset: int,
+        primitives: List[ServiceRequest],
+        own: List[int],
+    ) -> _Node:
+        """Emit one predicate's OR chain at ``offset``; returns its node.
+
+        The values are lowered in sorted order (the canonical key's
+        order) so identical value multisets build identical chains.
+        """
+        steps, vector = lower_predicate_steps(
+            index, column, sorted(values), row_size_bytes=row_size
+        )
+        cone: List[int] = []
+        producer: Optional[int] = None
+        latency = 0.0
+        for op, a, b, out in steps:
+            after = (producer,) if producer is not None else ()
+            step_index = len(primitives)
+            primitives.append(
+                BulkOpRequest(op=op, a=a, b=b, out=out, bank_offset=offset, after=after)
+            )
+            self._steps[step_index] = (op, a, b, out)
+            own.append(step_index)
+            cone.append(step_index)
+            producer = step_index
+            latency += self._executor.engine.op_cost(op, rows).latency_ns
+        if latency:
+            self._assigned[offset] = self._assigned.get(offset, 0.0) + latency
+        return _Node(key=pkey, vector=vector, cone=tuple(cone), producer=producer)
+
+    def _emit_and(
+        self,
+        akey: Key,
+        acc: _Node,
+        part: _Node,
+        num_rows: int,
+        row_size: int,
+        offset: int,
+        primitives: List[ServiceRequest],
+        own: List[int],
+    ) -> _Node:
+        """Emit one AND of two nodes at ``offset``; returns the new node."""
+        out = BulkBitVector(num_rows, row_size)
+        after = tuple(
+            sorted(p for p in (acc.producer, part.producer) if p is not None)
+        )
+        step_index = len(primitives)
+        primitives.append(
+            BulkOpRequest(
+                op="and", a=acc.vector, b=part.vector, out=out,
+                bank_offset=offset, after=after,
+            )
+        )
+        self._steps[step_index] = ("and", acc.vector, part.vector, out)
+        own.append(step_index)
+        cone = tuple(sorted({*acc.cone, *part.cone, step_index}))
+        return _Node(key=akey, vector=out, cone=cone, producer=step_index)
+
+    # ------------------------------------------------------------------
+    # Lane choice
+    # ------------------------------------------------------------------
+    def _choose_offset(self, executor: Any, base: int, rows: int) -> int:
+        """Cheapest-horizon bank offset for a fresh sub-chain.
+
+        Candidates are the request's ``max_split_lanes`` offsets starting
+        at its index's stable offset; each is priced as its lanes' busy
+        horizon (:meth:`LaneSchedule.lane_load_ns`; 0 for a barrier
+        executor) plus the latency already assigned to it this batch.
+        Unsplit mode keeps the whole chain at the stable offset.
+        """
+        if not self.config.split_subchains:
+            return base
+        banks: int = executor.banks_available()
+        span = min(self.config.max_split_lanes, banks)
+        best = base % banks
+        best_load = float("inf")
+        for k in range(span):
+            offset = (base + k) % banks
+            load = self._offset_load(executor, offset, rows)
+            if load < best_load:
+                best, best_load = offset, load
+        return best
+
+    def _offset_load(self, executor: Any, offset: int, rows: int) -> float:
+        horizon: float = 0.0
+        if executor.pipeline:
+            horizon = executor.lanes.lane_load_ns(executor.span_banks(rows, offset))
+        return horizon + self._assigned.get(offset, 0.0)

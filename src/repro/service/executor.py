@@ -620,8 +620,18 @@ class BatchExecutor:
         dispatch instant, the device-busy time the batch added (union of
         its intervals), and the work that ran before the previous batch's
         completion horizon.
+
+        When any request carries ``after`` dependencies (the batch plan
+        optimizer's cross-lane DAGs), the batch is placed in submission
+        order instead of LPT and each request's release is lifted to its
+        producers' finish times, so a consumer on an idle lane cannot be
+        scheduled before the sub-chain output it reads exists.  Producers
+        always precede consumers in submission order, so one forward pass
+        suffices; the lifted release is what the placement logs, keeping
+        the schedule race detector's replay exact.
         """
-        if self.lpt:
+        has_deps = any(getattr(r.request, "after", ()) for r in results)
+        if self.lpt and not has_deps:
             order = sorted(results, key=lambda r: -r.metrics.latency_ns)
         else:
             order = results
@@ -631,10 +641,20 @@ class BatchExecutor:
         busy_before = lanes.busy_union_ns
         finish_max = release_ns
         overlap = 0.0
+        finishes: List[float] = []
         for result in order:
+            release = release_ns
+            for dep in getattr(result.request, "after", ()):
+                if not 0 <= dep < len(finishes):
+                    raise ValueError(
+                        f"after={dep} must reference an earlier primitive of "
+                        f"the same batch (placed so far: {len(finishes)})"
+                    )
+                release = max(release, finishes[dep])
             banks = result.bank_ids or [HOST_LANE]
-            start, finish = lanes.place(banks, result.metrics.latency_ns, release_ns)
+            start, finish = lanes.place(banks, result.metrics.latency_ns, release)
             result.start_ns = start
+            finishes.append(finish)
             overlap += max(0.0, min(finish, prev_horizon) - start)
             finish_max = max(finish_max, finish)
         if self.pipeline:

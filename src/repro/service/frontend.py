@@ -62,7 +62,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -71,6 +71,9 @@ from repro.service.executor import BatchExecutor
 from repro.service.lanes import HOST_LANE
 from repro.service.planner import BatchPlanner, BatchPolicy
 from repro.service.requests import BatchResult, FrontendRequest, QueuedRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.passes import OptimizerConfig
 
 
 @dataclass
@@ -216,6 +219,11 @@ class ServiceFrontend:
         shed_low_priority: When over an admission bound, evict queued work
             of strictly lower priority (``rejected_reason="shed"``) to
             make room, instead of only rejecting the candidate at the door.
+        optimize: Enable the batch plan optimizer on the default planner:
+            ``True`` for the default
+            :class:`~repro.optimizer.OptimizerConfig`, or an explicit
+            config.  Ignored when an explicit ``planner`` is passed
+            (configure that planner directly).
     """
 
     def __init__(
@@ -227,11 +235,12 @@ class ServiceFrontend:
         max_backlog_ns: Optional[float] = None,
         functional: bool = False,
         shed_low_priority: bool = False,
+        optimize: Union[bool, "OptimizerConfig"] = False,
     ) -> None:
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
         self.executor = executor or BatchExecutor()
-        self.planner = planner or BatchPlanner(self.executor, policy)
+        self.planner = planner or BatchPlanner(self.executor, policy, optimize=optimize)
         self.max_queue_depth = max_queue_depth
         self.max_backlog_ns = max_backlog_ns
         self.functional = functional
@@ -490,7 +499,7 @@ class ServiceFrontend:
             return self.executor.lane_horizon_ns(HOST_LANE)
         return self.executor.ready_ns()
 
-    def serve_batch(self) -> Optional[BatchResult]:
+    def serve_batch(self, urgent: bool = False) -> Optional[BatchResult]:
         """Close and execute one batch from the queue (None when empty).
 
         The batch is dispatched at the current clock (lifted, under
@@ -500,12 +509,20 @@ class ServiceFrontend:
         the work ride the lane horizons, so the next batch can dispatch
         onto banks this one never touched — or has already drained.
         Lowered groups report the start of their first primitive and the
-        finish of their last.
+        finish of their last (plus any host-side merge the optimizer's
+        sub-chain split charges).
+
+        Args:
+            urgent: Skip the pipelined dispatch gate: a horizon-priced
+                deadline close (:meth:`BatchPlanner.urgent_close`) must
+                reach its lane *now*, not after a full extra batch has
+                drained — the lane schedule still serializes the actual
+                placements.
         """
         if not self._heap:
             return None
         pipelined = self.executor.pipeline
-        if pipelined:
+        if pipelined and not urgent:
             # Dispatch gate: wait (on the virtual clock) until a lane is free.
             self.clock_ns = max(self.clock_ns, self._dispatch_ready_ns())
         size = min(self.planner.policy.max_batch, len(self._heap))
@@ -526,21 +543,33 @@ class ServiceFrontend:
         for group in groups:
             queued = group.queued
             queued.batch_index = batch_index
-            if group.indices:
+            # A request's service spans its own steps *plus* any shared
+            # steps it consumes (CSE deps bound its finish but are only
+            # charged to their owner); split-mode host joins extend the
+            # finish by the merge tree.
+            cone = list(group.indices) + list(group.dep_indices)
+            if cone:
                 # Result start times are absolute against the frontend
                 # clock (the executor scheduled from ``release_ns``).
-                results = [batch.results[i] for i in group.indices]
+                results = [batch.results[i] for i in cone]
                 queued.start_ns = min(r.start_ns for r in results)
-                queued.finish_ns = max(
-                    r.start_ns + r.metrics.latency_ns for r in results
+                queued.finish_ns = (
+                    max(r.start_ns + r.metrics.latency_ns for r in results)
+                    + group.host_merge_ns
                 )
-                queued.metrics = self.planner.group_metrics(group, results)
-                queued.value = group.finalize(results)
+                own = [batch.results[i] for i in group.indices]
+                queued.metrics = self.planner.group_metrics(group, own)
+                queued.value = group.finalize(own)
             else:
                 queued.start_ns = batch_start
-                queued.finish_ns = batch_start
+                queued.finish_ns = batch_start + group.host_merge_ns
                 queued.metrics = group.zero_cost_metrics
                 queued.value = group.finalize([])
+            queued.host_merge_ns = group.host_merge_ns
+            queued.ops_eliminated = group.ops_eliminated
+            queued.shared_subchains = group.shared_subchains
+        batch.metrics.ops_eliminated = sum(g.ops_eliminated for g in groups)
+        batch.metrics.shared_subchains = sum(g.shared_subchains for g in groups)
         if not pipelined:
             self.clock_ns = batch_start + batch.metrics.latency_ns
         self.busy_ns += batch.metrics.busy_ns
@@ -574,15 +603,20 @@ class ServiceFrontend:
         """
         while self._heap and self.clock_ns < until_ns:
             if self.planner.should_close(self._queued(), self.clock_ns):
+                # An urgent (horizon-priced deadline) close bypasses the
+                # dispatch gate: waiting for a free lane is exactly what
+                # would miss the deadline.  The lane schedule still
+                # serializes the placements themselves.
+                urgent = self.planner.urgent_close(self._queued(), self.clock_ns)
                 ready = self._dispatch_ready_ns()
-                if ready > self.clock_ns:
+                if ready > self.clock_ns and not urgent:
                     # Every lane the next batch would use is busy: the
                     # next dispatch instant is when the first one drains.
                     if ready >= until_ns:
                         break
                     self.clock_ns = ready
                     continue
-                self.serve_batch()
+                self.serve_batch(urgent=urgent)
                 continue
             # Sleep until the policy's next closing instant (window expiry /
             # the last moment an urgent deadline can still start on time).

@@ -135,6 +135,15 @@ class LaneSchedule:
             default=0.0,
         )
 
+    def lane_load_ns(self, keys: Iterable[LaneKey]) -> float:
+        """Latest busy-until horizon over ``keys`` (0 if all untouched).
+
+        The batch plan optimizer prices candidate bank offsets with this
+        when spreading a request's independent sub-chains: a sub-chain
+        lands on the lanes that drain first.
+        """
+        return max((self.horizon.get(key, 0.0) for key in keys), default=0.0)
+
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------

@@ -23,8 +23,8 @@ assignment; the planner deliberately leaves intra-batch ordering to it.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple, Union
 
 from repro.analysis.metrics import OperationMetrics, combine_serial
 from repro.service.executor import BatchExecutor
@@ -38,6 +38,9 @@ from repro.service.requests import (
     ScanRequest,
     ServiceRequest,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.passes import BatchOptimizer, OptimizerConfig
 
 
 @dataclass
@@ -54,11 +57,20 @@ class BatchPolicy:
             modeled service latency is within this slack of the current
             time — the last moment service can start without missing it.
             None disables urgency-driven closing.
+        horizon_urgency: Price urgency from the *lanes' busy horizons*
+            rather than from "now": under deep pipelining a request's
+            service cannot start before its modeled banks drain, so a
+            deadline that looks comfortable from the current clock may
+            already be at risk.  Fires only inside the savable window —
+            when the banks' horizon lands within ``urgency_slack_ns``
+            below the latest viable start — so it never degenerates into
+            closing every batch early under overload.
     """
 
     max_batch: int = 32
     window_ns: Optional[float] = None
     urgency_slack_ns: Optional[float] = 0.0
+    horizon_urgency: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -77,12 +89,27 @@ class LoweredGroup:
         finalize: Maps the group's :class:`RequestResult` list to the
             envelope's result value.
         zero_cost_metrics: Metrics to attribute when ``indices`` is empty.
+        dep_indices: Positions of *other* requests' primitives this group
+            consumes (CSE'd sub-chains); they bound the group's finish
+            time but are never charged to it.
+        host_merge_ns: Host-side merge-tree cost added to the group's
+            finish time (split-mode cross-predicate join).
+        host_join_ops: Host AND ops the split-mode join performs.
+        ops_eliminated: Device ops the optimizer removed from this
+            request's unoptimized plan total.
+        shared_subchains: Sub-chains this request consumed from (or
+            shared with) another request of the batch.
     """
 
     queued: QueuedRequest
     indices: List[int]
     finalize: Callable[[List[RequestResult]], Any]
     zero_cost_metrics: Optional[OperationMetrics] = None
+    dep_indices: List[int] = field(default_factory=list)
+    host_merge_ns: float = 0.0
+    host_join_ops: int = 0
+    ops_eliminated: int = 0
+    shared_subchains: int = 0
 
 
 class BatchPlanner:
@@ -92,11 +119,30 @@ class BatchPlanner:
         executor: The executor the plans target (its latency model drives
             LPT ordering, deadline urgency, and admission backlog).
         policy: Batch-closing policy (defaults to size-32, urgency on).
+        optimize: Enable the batch plan optimizer: ``True`` for the
+            default :class:`~repro.optimizer.OptimizerConfig` (CSE and
+            sub-chain splitting on), or an explicit config.  ``False``
+            (the default) lowers every conjunction in isolation, exactly
+            as before the optimizer existed.
     """
 
-    def __init__(self, executor: BatchExecutor, policy: Optional[BatchPolicy] = None) -> None:
+    def __init__(
+        self,
+        executor: BatchExecutor,
+        policy: Optional[BatchPolicy] = None,
+        optimize: Union[bool, "OptimizerConfig"] = False,
+    ) -> None:
         self.executor = executor
         self.policy = policy or BatchPolicy()
+        self.optimizer: Optional["BatchOptimizer"] = None
+        if optimize:
+            from repro.optimizer.passes import (  # local: avoid cycle
+                BatchOptimizer,
+                OptimizerConfig,
+            )
+
+            config = optimize if isinstance(optimize, OptimizerConfig) else None
+            self.optimizer = BatchOptimizer(config)
         #: High-level requests lowered across the planner's lifetime.
         self.lowered_requests = 0
 
@@ -129,8 +175,13 @@ class BatchPlanner:
 
         A lowered conjunction's whole chain is pinned to its index's stable
         offset, so the chain charges the same banks it will serialize on.
+        Under the optimizer's sub-chain splitting the chain fans out over
+        offsets chosen at lowering time, so conjunctions are unpinned
+        (empty list) — the frontend falls back to global backlog.
         """
         if isinstance(request, BitmapConjunctionRequest):
+            if self.optimizer is not None and self.optimizer.config.split_subchains:
+                return []
             return self.executor.span_banks(
                 self._conjunction_rows(request), self.executor.stable_offset(request.index)
             )
@@ -156,6 +207,49 @@ class BatchPlanner:
                 latest_start = q.deadline_ns - q.modeled_ns
                 if latest_start <= now_ns + self.policy.urgency_slack_ns:
                     return True
+        if self.urgent_close(queued, now_ns):
+            return True
+        return False
+
+    def _lane_pressure_ns(self, q: QueuedRequest, now_ns: float) -> float:
+        """Earliest instant the lanes could start serving ``q``.
+
+        The latest busy horizon over the request's modeled banks (its
+        service cannot start before its pinned banks drain), or the
+        executor's global ready instant when the request is unpinned.
+        Never before "now"; always "now" for a barrier executor, whose
+        lanes carry no state across batches.
+        """
+        banks = q.modeled_banks
+        if banks:
+            pressure = max(self.executor.lane_horizon_ns(key) for key in banks)
+        else:
+            pressure = self.executor.ready_ns()
+        return max(now_ns, pressure)
+
+    def urgent_close(self, queued: List[QueuedRequest], now_ns: float) -> bool:
+        """Is some queued deadline at risk *given the lanes' horizons*?
+
+        Prices the latest viable service start against where the
+        request's banks are actually busy until, not against "now": true
+        exactly when a deadline is still savable but will be missed
+        unless the batch closes and dispatches immediately (the banks'
+        pressure has entered the ``urgency_slack_ns`` window below the
+        latest viable start).  The frontend treats such a close as
+        *urgent* — it bypasses the pipelined dispatch gate so the
+        endangered request reaches its lane without queueing behind a
+        whole extra batch.
+        """
+        if not self.policy.horizon_urgency or self.policy.urgency_slack_ns is None:
+            return False
+        slack = self.policy.urgency_slack_ns
+        for q in queued:
+            if q.deadline_ns is None:
+                continue
+            latest_start = q.deadline_ns - q.modeled_ns
+            pressure = self._lane_pressure_ns(q, now_ns)
+            if latest_start - slack <= pressure <= latest_start:
+                return True
         return False
 
     def next_close_ns(self, queued: List[QueuedRequest], now_ns: float) -> float:
@@ -184,13 +278,26 @@ class BatchPlanner:
     def lower_batch(
         self, batch: List[QueuedRequest]
     ) -> Tuple[List[ServiceRequest], List[LoweredGroup]]:
-        """Lower a closed batch into primitives plus result bookkeeping."""
+        """Lower a closed batch into primitives plus result bookkeeping.
+
+        With the optimizer enabled, every conjunction of the batch lowers
+        into one shared step DAG (cross-request CSE, sub-chain
+        splitting); under ``sanitize=True`` the DAG is certified by
+        :func:`repro.verify.plan_lint.lint_optimized_batch` before the
+        executor sees a single step.
+        """
         primitives: List[ServiceRequest] = []
         groups: List[LoweredGroup] = []
+        if self.optimizer is not None:
+            self.optimizer.open_batch(self.executor)
         for queued in batch:
             request = queued.request
             if isinstance(request, BitmapConjunctionRequest):
-                groups.append(self._lower_conjunction(queued, primitives))
+                if self.optimizer is not None:
+                    self.lowered_requests += 1
+                    groups.append(self.optimizer.lower_conjunction(queued, primitives))
+                else:
+                    groups.append(self._lower_conjunction(queued, primitives))
             elif isinstance(request, (BulkOpRequest, ScanRequest, CopyRequest)):
                 primitives.append(request)
                 groups.append(
@@ -202,6 +309,10 @@ class BatchPlanner:
                 )
             else:
                 raise TypeError(f"unknown request type {type(request).__name__}")
+        if self.optimizer is not None and getattr(self.executor, "sanitize", False):
+            self.optimizer.lint_batch(
+                row_size_bytes=self.executor.engine.device.geometry.row_size_bytes
+            )
         return primitives, groups
 
     def _lower_conjunction(

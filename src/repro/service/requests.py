@@ -53,6 +53,13 @@ class BulkOpRequest:
     #: every lowered step of one conjunction to one hint so data-dependent
     #: steps never overlap in the schedule).
     bank_offset: Optional[int] = None
+    #: Batch-local indices of the primitives that produce this request's
+    #: operands.  When any request of a batch carries dependencies the
+    #: executor schedules in submission order and lifts each request's
+    #: release to its producers' finish times, so optimizer-built DAGs
+    #: (shared sub-chains consumed from other lanes) stay causally
+    #: ordered even when the operands live on different bank lanes.
+    after: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -186,6 +193,16 @@ class QueuedRequest:
     finish_ns: float = math.nan
     value: Any = None
     metrics: Optional[OperationMetrics] = None
+    #: Host-side merge cost charged into ``finish_ns`` when the optimizer
+    #: split the request's sub-chains across lanes (same merge-tree model
+    #: as the cluster gather path; 0.0 when unsplit).
+    host_merge_ns: float = 0.0
+    #: Device ops this request did not have to run because the batch plan
+    #: optimizer shared or restructured its chain (0 when unoptimized).
+    ops_eliminated: int = 0
+    #: Sub-chains of this request served from another request's (or an
+    #: earlier duplicate's) lowered output instead of being re-lowered.
+    shared_subchains: int = 0
 
     @property
     def completed(self) -> bool:

@@ -23,9 +23,12 @@ from repro.verify.errors import (
 )
 from repro.verify.plan_lint import (
     ChainLintReport,
+    OptimizedBatchReport,
+    OptimizedRequestView,
     check_scatter_coverage,
     lint_chain,
     lint_lowered_conjunction,
+    lint_optimized_batch,
 )
 from repro.verify.schedule_check import (
     ScheduleCheckReport,
@@ -41,6 +44,8 @@ __all__ = [
     "CostModelMismatchError",
     "DanglingOperandError",
     "LaneHazardError",
+    "OptimizedBatchReport",
+    "OptimizedRequestView",
     "PlanVerifyError",
     "ScatterCoverageError",
     "ScheduleCheckReport",
@@ -52,4 +57,5 @@ __all__ = [
     "check_schedule",
     "lint_chain",
     "lint_lowered_conjunction",
+    "lint_optimized_batch",
 ]

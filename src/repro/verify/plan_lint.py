@@ -242,6 +242,314 @@ def lint_lowered_conjunction(
     return report
 
 
+@dataclass(frozen=True)
+class OptimizedRequestView:
+    """One request's slice of an optimizer-rewritten batch DAG.
+
+    The batch plan optimizer (:mod:`repro.optimizer`) lowers a whole
+    batch's conjunctions into one shared step DAG; this view records, per
+    request, everything the linter needs to certify that request's slice
+    independently of how the optimizer built it.
+
+    Attributes:
+        predicates: The request's (column, values) predicate set.
+        num_rows: Row count of the request's result bitmap.
+        plan_total: Operations the *unoptimized* plan would charge
+            (``len(values) - 1`` ORs per predicate plus
+            ``len(predicates) - 1`` ANDs).
+        own_indices: Batch-step indices this request emitted (and is
+            charged for).
+        dep_indices: Batch-step indices of shared sub-chains this request
+            consumes but another request owns.
+        part_vectors: The vectors the request's finalize reads — the
+            single chain result when unsplit, or one result per
+            sub-chain when split across lanes (host-joined).
+        host_join_ops: Host-side AND merges the finalize performs
+            (``len(part_vectors) - 1`` when split, else 0).
+        ops_eliminated: Device ops the optimizer removed for this request
+            (``plan_total - len(own_indices) - host_join_ops``).
+        shared_subchains: Sub-chains served from another request's output.
+    """
+
+    predicates: Tuple[Predicate, ...]
+    num_rows: int
+    plan_total: int
+    own_indices: Tuple[int, ...]
+    dep_indices: Tuple[int, ...]
+    part_vectors: Tuple[BulkBitVector, ...]
+    host_join_ops: int
+    ops_eliminated: int
+    shared_subchains: int = 0
+
+
+@dataclass
+class OptimizedBatchReport:
+    """Summary of one clean optimizer-rewritten batch DAG.
+
+    Attributes:
+        steps: Device steps in the batch DAG.
+        requests: Request views certified.
+        shared_steps: Steps consumed by at least one non-owner request.
+        ops_eliminated: Total device ops the optimizer removed.
+        host_join_ops: Total host-side merge ops across requests.
+    """
+
+    steps: int = 0
+    requests: int = 0
+    shared_steps: int = 0
+    ops_eliminated: int = 0
+    host_join_ops: int = 0
+
+
+def lint_optimized_batch(
+    steps: Dict[int, ChainStep],
+    views: Sequence[OptimizedRequestView],
+    row_size_bytes: Optional[int] = None,
+) -> OptimizedBatchReport:
+    """Statically certify one optimizer-rewritten batch DAG.
+
+    Extends :func:`lint_chain`'s invariants across request boundaries:
+
+    * every step output is produced exactly once and never consumed
+      before (or by) the step producing it — batch-step indices are the
+      execution order, so an operand's producer must carry a smaller
+      index even when producer and consumer belong to different requests;
+    * every step is owned by exactly one request, every declared
+      dependency is a step some *other* request owns (a shared sub-chain
+      output), and a request's own/dep sets are disjoint and
+      duplicate-free;
+    * walking each request's part vectors back through the DAG reaches
+      exactly its ``own + dep`` steps — no dangling shared output, no
+      step charged but unused;
+    * widths match each owning request's row count, row padding is
+      uniform across the batch;
+    * the per-request cost ledger balances:
+      ``ops_eliminated == plan_total - len(own) - host_join_ops >= 0``
+      and ``host_join_ops`` matches the split fan-in, so the batch's
+      charged totals are exactly the unoptimized totals net of the
+      declared elimination.
+
+    Args:
+        steps: Batch-step index → ``(op, a, b, out)``; indices are the
+            submission (execution) order of the lowered primitives.
+        views: One :class:`OptimizedRequestView` per optimized request.
+        row_size_bytes: Expected row padding (taken from the first vector
+            seen when omitted).
+
+    Raises:
+        PlanVerifyError: A typed subclass naming the violated invariant.
+    """
+    produced: Dict[int, int] = {}
+    for index in sorted(steps):
+        out = steps[index][3]
+        if id(out) in produced:
+            raise DanglingOperandError(
+                f"step {index} rewrites the output of step {produced[id(out)]}",
+                details={"step": index, "producer": produced[id(out)]},
+            )
+        produced[id(out)] = index
+
+    # Ownership: every step belongs to exactly one request.
+    owner: Dict[int, int] = {}
+    for view_index, view in enumerate(views):
+        for index in view.own_indices:
+            if index not in steps:
+                raise DanglingOperandError(
+                    f"request {view_index} owns step {index}, which is not "
+                    "in the batch",
+                    details={"request": view_index, "step": index},
+                )
+            if index in owner:
+                raise DanglingOperandError(
+                    f"step {index} is owned by both request {owner[index]} "
+                    f"and request {view_index}",
+                    details={
+                        "step": index,
+                        "owners": [owner[index], view_index],
+                    },
+                )
+            owner[index] = view_index
+    unowned = sorted(set(steps) - set(owner))
+    if unowned:
+        raise DanglingOperandError(
+            f"steps {unowned} are charged to no request in the batch",
+            details={"steps": unowned},
+        )
+
+    # Per-step structure: op validity, arity, self-consumption, operands
+    # produced before (across request boundaries), widths and padding.
+    row_size = row_size_bytes
+    for index in sorted(steps):
+        op, a, b, out = steps[index]
+        num_rows = views[owner[index]].num_rows
+        if op not in BULK_OPS:
+            raise DanglingOperandError(
+                f"step {index} carries unknown op {op!r}",
+                details={"step": index, "op": op},
+            )
+        operands = [a] if op == "not" else [a, b]
+        if op == "not" and b is not None:
+            raise DanglingOperandError(
+                f"step {index}: unary 'not' carries a second operand",
+                details={"step": index, "op": op},
+            )
+        if op != "not" and b is None:
+            raise DanglingOperandError(
+                f"step {index}: binary {op!r} is missing its second operand",
+                details={"step": index, "op": op},
+            )
+        for operand in operands:
+            assert operand is not None
+            if operand is out:
+                raise ChainCycleError(
+                    f"step {index} consumes its own output in place",
+                    details={"step": index, "op": op},
+                )
+            producer = produced.get(id(operand))
+            if producer is not None and producer >= index:
+                raise ChainCycleError(
+                    f"step {index} consumes the output of step {producer}, "
+                    "which has not executed yet",
+                    details={"step": index, "producer": producer},
+                )
+        for vector in (*operands, out):
+            assert vector is not None
+            if vector.num_bits != num_rows:
+                raise WidthMismatchError(
+                    f"step {index}: operand width {vector.num_bits} != "
+                    f"conjunction rows {num_rows}",
+                    details={
+                        "step": index,
+                        "num_bits": vector.num_bits,
+                        "num_rows": num_rows,
+                    },
+                )
+            if row_size is None:
+                row_size = vector.row_size_bytes
+            elif vector.row_size_bytes != row_size:
+                raise WidthMismatchError(
+                    f"step {index}: row padding {vector.row_size_bytes} != "
+                    f"chain padding {row_size} — charged per-step cost would "
+                    "diverge from the plan-level model",
+                    details={
+                        "step": index,
+                        "row_size_bytes": vector.row_size_bytes,
+                        "expected": row_size,
+                    },
+                )
+
+    shared_steps = 0
+    total_eliminated = 0
+    total_joins = 0
+    for view_index, view in enumerate(views):
+        own = set(view.own_indices)
+        deps = set(view.dep_indices)
+        if len(own) != len(view.own_indices) or len(deps) != len(view.dep_indices):
+            raise DanglingOperandError(
+                f"request {view_index} lists a step twice",
+                details={"request": view_index},
+            )
+        double = sorted(own & deps)
+        if double:
+            raise DanglingOperandError(
+                f"request {view_index} both owns and depends on steps "
+                f"{double} — it would be charged for shared work",
+                details={"request": view_index, "steps": double},
+            )
+        for index in sorted(deps):
+            if index not in steps:
+                raise DanglingOperandError(
+                    f"request {view_index} depends on step {index}, which "
+                    "no request in the batch produced",
+                    details={"request": view_index, "step": index},
+                )
+        shared_steps += len(deps)
+
+        # Cone closure: the part vectors must reach exactly own + deps.
+        if not view.part_vectors:
+            raise DanglingOperandError(
+                f"request {view_index} has no result vectors",
+                details={"request": view_index},
+            )
+        cone: set = set()
+        stack: List[BulkBitVector] = list(view.part_vectors)
+        while stack:
+            vector = stack.pop()
+            if vector.num_bits != view.num_rows:
+                raise WidthMismatchError(
+                    f"request {view_index}: result width {vector.num_bits} "
+                    f"!= conjunction rows {view.num_rows}",
+                    details={
+                        "request": view_index,
+                        "num_bits": vector.num_bits,
+                        "num_rows": view.num_rows,
+                    },
+                )
+            producer = produced.get(id(vector))
+            if producer is None or producer in cone:
+                continue
+            cone.add(producer)
+            op, a, b, _out = steps[producer]
+            stack.append(a)
+            if b is not None:
+                stack.append(b)
+        if cone != own | deps:
+            unreached = sorted((own | deps) - cone)
+            undeclared = sorted(cone - (own | deps))
+            raise DanglingOperandError(
+                f"request {view_index}'s result cone does not match its "
+                f"declared steps (charged-but-unused={unreached}, "
+                f"consumed-but-undeclared={undeclared})",
+                details={
+                    "request": view_index,
+                    "unreached": unreached,
+                    "undeclared": undeclared,
+                },
+            )
+
+        # Cost ledger: host joins match the split fan-in, and the charged
+        # totals are the unoptimized totals net of the declared elimination.
+        expected_joins = max(0, len(view.part_vectors) - 1)
+        if view.host_join_ops != expected_joins:
+            raise CostModelMismatchError(
+                f"request {view_index} declares {view.host_join_ops} host "
+                f"joins but reads {len(view.part_vectors)} part vectors "
+                f"(expected {expected_joins})",
+                details={
+                    "request": view_index,
+                    "declared": view.host_join_ops,
+                    "expected": expected_joins,
+                },
+            )
+        expected_eliminated = view.plan_total - len(own) - view.host_join_ops
+        if view.ops_eliminated != expected_eliminated or expected_eliminated < 0:
+            raise CostModelMismatchError(
+                f"request {view_index}'s cost ledger does not balance: "
+                f"plan charges {view.plan_total} ops, request owns "
+                f"{len(own)} steps + {view.host_join_ops} host joins, "
+                f"declares {view.ops_eliminated} eliminated "
+                f"(expected {expected_eliminated})",
+                details={
+                    "request": view_index,
+                    "plan_total": view.plan_total,
+                    "owned": len(own),
+                    "host_join_ops": view.host_join_ops,
+                    "declared": view.ops_eliminated,
+                    "expected": expected_eliminated,
+                },
+            )
+        total_eliminated += view.ops_eliminated
+        total_joins += view.host_join_ops
+
+    return OptimizedBatchReport(
+        steps=len(steps),
+        requests=len(views),
+        shared_steps=shared_steps,
+        ops_eliminated=total_eliminated,
+        host_join_ops=total_joins,
+    )
+
+
 def check_scatter_coverage(
     predicates: Sequence[Predicate],
     parts: Sequence[Tuple[int, Sequence[Predicate]]],

@@ -156,6 +156,37 @@ _CLUSTER_POINT: JsonSchema = {
     "additionalProperties": _NUMBER,
 }
 
+#: Per-mode block of the plan optimizer A/B benchmark.
+_OPTIMIZER_MODE: JsonSchema = {
+    "type": "object",
+    "required": [
+        "completed",
+        "rejected",
+        "batches",
+        "throughput_gb_s",
+        "sojourn_p50_us",
+        "sojourn_p99_us",
+        "makespan_ms",
+        "busy_ms",
+        "ops_eliminated",
+        "shared_subchains",
+        "host_merge_us",
+    ],
+    "properties": {
+        "completed": _COUNT,
+        "rejected": _COUNT,
+        "batches": _COUNT,
+        "throughput_gb_s": _NS,
+        "sojourn_p50_us": _NS,
+        "sojourn_p99_us": _NS,
+        "makespan_ms": _NS,
+        "busy_ms": _NS,
+        "ops_eliminated": _COUNT,
+        "shared_subchains": _COUNT,
+        "host_merge_us": _NS,
+    },
+}
+
 SCHEMAS: Dict[str, JsonSchema] = {
     "pipeline": {
         "type": "object",
@@ -175,6 +206,22 @@ SCHEMAS: Dict[str, JsonSchema] = {
             "scaling_speedup": {"type": "number", "minimum": 0},
         },
         "patternProperties": {r"^shards_\d+$": _CLUSTER_POINT},
+        "additionalProperties": False,
+    },
+    "optimizer": {
+        "type": "object",
+        "required": [
+            "baseline",
+            "optimized",
+            "optimized_vs_baseline_throughput",
+            "duplication_rate",
+        ],
+        "properties": {
+            "baseline": _OPTIMIZER_MODE,
+            "optimized": _OPTIMIZER_MODE,
+            "optimized_vs_baseline_throughput": {"type": "number", "minimum": 0},
+            "duplication_rate": {"type": "number", "minimum": 0},
+        },
         "additionalProperties": False,
     },
     "service_frontend": {
