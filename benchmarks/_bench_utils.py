@@ -30,6 +30,26 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
+def emit_trace(name: str, tracer, metrics=None) -> str:
+    """Write ``TRACE_<name>.json`` — the Perfetto trace for one bench run.
+
+    Uploaded alongside ``BENCH_<name>.json`` so a regression in the perf
+    trajectory comes with the lane-level timeline that explains it: load
+    the file at ui.perfetto.dev (or chrome://tracing) and read the bank
+    lanes directly.  Validated in CI by ``tools/validate_bench.py``.
+    """
+    from repro.obs import build_trace
+
+    directory = os.environ.get("BENCH_JSON_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"TRACE_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(build_trace(tracer, metrics=metrics), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path
+
+
 def emit_json(name: str, payload: dict) -> str:
     """Write ``BENCH_<name>.json`` — the machine-readable perf trajectory.
 

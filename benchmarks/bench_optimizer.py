@@ -28,7 +28,8 @@ host evaluation.
 The acceptance bar: optimized modeled throughput (completed bytes over
 the completion makespan) is at least 1.3x the PR-5 pipelined baseline on
 this workload with ``ops_eliminated > 0``, no worse p99 sojourn, and no
-more energy; the run emits ``BENCH_optimizer.json``.
+more energy; the run emits ``BENCH_optimizer.json`` plus
+``TRACE_optimizer.json`` — the Perfetto lane timeline of the optimized run.
 """
 
 from __future__ import annotations
@@ -47,7 +48,7 @@ from repro.service import (
     poisson_schedule,
 )
 
-from _bench_utils import emit, emit_json
+from _bench_utils import emit, emit_json, emit_trace
 
 BANKS = 8
 NUM_ROWS = 65536                # one 8 KiB DRAM row per bitmap
@@ -101,13 +102,16 @@ def _run_mode(system, requests, optimize: bool):
         policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
         max_queue_depth=10 * NUM_REQUESTS,  # unbounded: identical workloads
         optimize=optimize,
+        # Trace the optimized mode (bit-exactness with observe=False is a
+        # property test); its TRACE_optimizer.json ships with the bench JSON.
+        observe=optimize,
     )
     events = poisson_schedule(requests, rate_per_s=ARRIVAL_RATE_PER_S, seed=11)
     result = frontend.run(events, name="optimized" if optimize else "baseline")
     metrics = result.metrics
     completed_bytes = sum(r.metrics.bytes_produced for r in result.completed())
     throughput = completed_bytes / (metrics.makespan_ns * 1e-9)
-    return result, throughput
+    return frontend, result, throughput
 
 
 def _run_experiment(system):
@@ -137,7 +141,7 @@ def test_plan_optimizer_beats_per_request_lowering(benchmark, ddr3_ambit_system)
     )
     payload = {"duplication_rate": duplication_rate}
     for optimize in (False, True):
-        result, throughput = outcomes[optimize]
+        _, result, throughput = outcomes[optimize]
         metrics = result.metrics
         mode = "optimized" if optimize else "baseline"
         table.add_row(
@@ -168,11 +172,13 @@ def test_plan_optimizer_beats_per_request_lowering(benchmark, ddr3_ambit_system)
     emit(table)
     emit(f"the batch plan optimizer is {gain:.2f}x the per-request planner")
     emit_json("optimizer", payload)
+    optimized_frontend = outcomes[True][0]
+    emit_trace("optimizer", optimized_frontend.obs.tracer, optimized_frontend.obs.metrics)
 
     # Both modes served the identical workload (nothing rejected), so the
     # comparison is purely plan-vs-plan ...
-    baseline_metrics = outcomes[False][0].metrics
-    optimized_metrics = outcomes[True][0].metrics
+    baseline_metrics = outcomes[False][1].metrics
+    optimized_metrics = outcomes[True][1].metrics
     assert baseline_metrics.rejected == optimized_metrics.rejected == 0
     assert baseline_metrics.completed == optimized_metrics.completed == NUM_REQUESTS
 
@@ -184,7 +190,7 @@ def test_plan_optimizer_beats_per_request_lowering(benchmark, ddr3_ambit_system)
     assert optimized_metrics.energy_j <= baseline_metrics.energy_j * (1 + 1e-9)
 
     # ... and results stay bit-exact with host evaluation.
-    for request, record in list(zip(requests, outcomes[True][0].completed()))[:16]:
+    for request, record in list(zip(requests, outcomes[True][1].completed()))[:16]:
         expected, _ = index.evaluate_conjunction(list(request.predicates))
         assert np.array_equal(record.value, expected)
 

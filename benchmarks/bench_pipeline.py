@@ -19,7 +19,8 @@ check it and compare modeled completion.
 The acceptance bar: pipelined modeled throughput (completed bytes over
 the completion makespan) is at least 1.3x the barrier's on this workload,
 and the run emits ``BENCH_pipeline.json`` with throughput, sojourn
-percentiles, makespans, and bank idle fractions for both modes.
+percentiles, makespans, and bank idle fractions for both modes, plus
+``TRACE_pipeline.json`` — the Perfetto lane timeline of the pipelined run.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from repro.service import (
     poisson_schedule,
 )
 
-from _bench_utils import emit, emit_json
+from _bench_utils import emit, emit_json, emit_trace
 
 BANKS = 8
 ROWS_PER_COLUMN = 65536         # one 8 KiB DRAM row per bit plane
@@ -80,6 +81,9 @@ def _run_mode(system, scans, pipeline: bool):
         executor=BatchExecutor(engine=ambit, pipeline=pipeline, sanitize=True),
         policy=BatchPolicy(max_batch=MAX_BATCH, window_ns=None),
         max_queue_depth=10 * NUM_SCANS,  # unbounded: identical workloads
+        # Trace the pipelined mode (bit-exactness with observe=False is a
+        # property test); its TRACE_pipeline.json ships with the bench JSON.
+        observe=pipeline,
     )
     requests = [ScanRequest(column=c, kind=k, constants=cs) for c, k, cs in scans]
     events = poisson_schedule(requests, rate_per_s=ARRIVAL_RATE_PER_S, seed=11)
@@ -150,6 +154,8 @@ def test_lane_pipelining_beats_the_barrier(benchmark, ddr3_ambit_system):
     emit(table)
     emit(f"lane pipelining is {gain:.2f}x the batch-synchronous barrier")
     emit_json("pipeline", payload)
+    pipelined_frontend = outcomes[True][0]
+    emit_trace("pipeline", pipelined_frontend.obs.tracer, pipelined_frontend.obs.metrics)
 
     # Both modes served the identical workload (nothing rejected), so the
     # comparison is purely schedule-vs-schedule ...

@@ -21,10 +21,13 @@ from repro.analysis.metrics import (
     QueueMetrics,
     arithmetic_mean,
     geometric_mean,
+    percentile,
+    percentile_or,
     ratio,
     reduction_percent,
 )
 from repro.analysis.tables import ResultTable
+from repro.analysis.timeline import render_lane_timeline, render_span_tree
 
 __all__ = [
     "BatchMetrics",
@@ -39,8 +42,12 @@ __all__ = [
     "audit_executor",
     "audit_schedule",
     "geometric_mean",
+    "percentile",
+    "percentile_or",
     "ratio",
     "reduction_percent",
     "render_audit",
+    "render_lane_timeline",
+    "render_span_tree",
     "schedule_audit_report",
 ]

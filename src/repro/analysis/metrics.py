@@ -309,10 +309,10 @@ class QueueMetrics:
         sojourns = list(sojourn_ns)
         return cls(
             name=name,
-            wait_p50_ns=percentile(waits, 50) or 0.0,
-            wait_p99_ns=percentile(waits, 99) or 0.0,
-            sojourn_p50_ns=percentile(sojourns, 50) or 0.0,
-            sojourn_p99_ns=percentile(sojourns, 99) or 0.0,
+            wait_p50_ns=percentile_or(waits, 50),
+            wait_p99_ns=percentile_or(waits, 99),
+            sojourn_p50_ns=percentile_or(sojourns, 50),
+            sojourn_p99_ns=percentile_or(sojourns, 99),
             **counts,
         )
 
@@ -345,10 +345,10 @@ def summarize_envelopes(records: Sequence) -> Dict:
         shed=sum(1 for r in records if r.rejected_reason == "shed"),
         completed=len(completed),
         deadline_misses=sum(1 for r in completed if r.deadline_missed),
-        wait_p50_ns=percentile([r.wait_ns for r in completed], 50) or 0.0,
-        wait_p99_ns=percentile([r.wait_ns for r in completed], 99) or 0.0,
-        sojourn_p50_ns=percentile([r.sojourn_ns for r in completed], 50) or 0.0,
-        sojourn_p99_ns=percentile([r.sojourn_ns for r in completed], 99) or 0.0,
+        wait_p50_ns=percentile_or([r.wait_ns for r in completed], 50),
+        wait_p99_ns=percentile_or([r.wait_ns for r in completed], 99),
+        sojourn_p50_ns=percentile_or([r.sojourn_ns for r in completed], 50),
+        sojourn_p99_ns=percentile_or([r.sojourn_ns for r in completed], 99),
         serial_latency_ns=sum(r.metrics.latency_ns for r in completed),
         energy_j=sum(r.metrics.energy_j for r in completed),
         host_merge_ns=sum(getattr(r, "host_merge_ns", 0.0) for r in completed),
@@ -591,3 +591,17 @@ def percentile(values: Iterable[float], q: float) -> Optional[float]:
         return data[low]
     fraction = position - low
     return data[low] * (1 - fraction) + data[high] * fraction
+
+
+def percentile_or(values: Iterable[float], q: float, default: float = 0.0) -> float:
+    """:func:`percentile` with an explicit no-samples default.
+
+    ``percentile`` returns None for empty input; call sites used to
+    spell the fallback as ``percentile(xs, q) or 0.0``, which also
+    replaces a *legitimate* 0.0 percentile (every wait exactly zero)
+    with the default — harmless only while the default is 0.0, and a
+    trap the moment someone passes anything else.  Keep the None case
+    explicit instead.
+    """
+    value = percentile(values, q)
+    return default if value is None else value

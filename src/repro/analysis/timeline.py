@@ -1,0 +1,90 @@
+"""Text rendering of recorded observability spans: lane timelines and
+per-request flamegraph-style trees.
+
+The Perfetto export (:func:`repro.obs.write_trace`) is the full-fidelity
+view; these renderers are the terminal-sized one — enough to see a
+straggler serializing a lane, a batch riding a drained bank, or where a
+p99 request spent its sojourn, without leaving the shell.  See
+``examples/trace_timeline.py`` for both in action.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.obs.trace import Span, Tracer
+
+
+def _union_ns(intervals: List[Tuple[float, float]]) -> float:
+    """Total covered time of (possibly overlapping) intervals."""
+    total = 0.0
+    end = -math.inf
+    for start, finish in sorted(intervals):
+        if finish <= end:
+            continue
+        total += finish - max(start, end)
+        end = finish
+    return total
+
+
+def render_lane_timeline(tracer: Tracer, width: int = 64) -> str:
+    """ASCII occupancy chart: one row per declared track, ``█`` where busy.
+
+    Every closed span carrying a ``track`` paints its interval onto each
+    of its tracks (device execution, batch windows); the right-hand
+    column is the track's busy fraction of the rendered window.
+    """
+    order: List[str] = list(tracer.tracks)
+    intervals: Dict[str, List[Tuple[float, float]]] = {label: [] for label in order}
+    for root in tracer.roots:
+        for span in root.walk():
+            if span.track is None or span.end_ns is None:
+                continue
+            for label in span.track:
+                if label not in intervals:
+                    order.append(label)
+                    intervals[label] = []
+                intervals[label].append((span.start_ns, span.end_ns))
+    spans = [iv for pairs in intervals.values() for iv in pairs]
+    if not spans:
+        return "lane timeline: no closed spans recorded"
+    t0 = min(start for start, _ in spans)
+    t1 = max(finish for _, finish in spans)
+    window = max(t1 - t0, 1e-12)
+    scale = width / window
+    label_width = max(len(label) for label in order)
+    lines = [
+        f"lane timeline: {t0 / 1e3:.2f} µs .. {t1 / 1e3:.2f} µs "
+        f"({window / 1e3:.2f} µs window, {width} cells)"
+    ]
+    for label in order:
+        cells = [" "] * width
+        for start, finish in intervals[label]:
+            first = int((start - t0) * scale)
+            last = max(first + 1, int(math.ceil((finish - t0) * scale)))
+            for cell in range(first, min(last, width)):
+                cells[cell] = "█"
+        busy = _union_ns(intervals[label]) / window
+        lines.append(f"{label:>{label_width}} |{''.join(cells)}| {100.0 * busy:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_span_tree(span: Span) -> str:
+    """Indented flamegraph-style view of one span tree (times in µs)."""
+    lines: List[str] = []
+
+    def visit(node: Span, depth: int) -> None:
+        end = node.end_ns if node.end_ns is not None else node.start_ns
+        duration = (end - node.start_ns) / 1e3
+        attrs = " ".join(f"{key}={value}" for key, value in node.attrs.items())
+        open_mark = "" if node.end_ns is not None else " [open]"
+        lines.append(
+            f"{'  ' * depth}{node.name:<14} @{node.start_ns / 1e3:>10.2f} µs "
+            f"+{duration:>9.2f} µs{open_mark}  {attrs}".rstrip()
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return "\n".join(lines)

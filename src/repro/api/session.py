@@ -58,6 +58,7 @@ from repro.api.plans import (
 )
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.queries import QueryEngine
+from repro.obs import NULL_OBSERVER, Observer, resolve_observe
 from repro.service.frontend import ArrivalEvent
 
 
@@ -130,6 +131,9 @@ class Response:
         deadline_missed: True when service finished past the deadline.
         rejected_reason: Why admission refused it ("" when completed).
         details: Tier-specific extras (typed by backend tier).
+        trace: Root :class:`repro.obs.Span` of the request's lifecycle
+            when the backend's observability plane was recording
+            (``observe=True``); None otherwise.
     """
 
     kind: str
@@ -147,6 +151,7 @@ class Response:
     deadline_missed: bool = False
     rejected_reason: str = ""
     details: ResponseDetails = field(default_factory=HostDetails)
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def completed(self) -> bool:
@@ -210,6 +215,12 @@ class Future:
         """Arrival to completion (NaN before service)."""
         return self.record.sojourn_ns
 
+    @property
+    def trace(self) -> Any:
+        """Root :class:`repro.obs.Span` of this request's lifecycle, or
+        None unless the backend records with ``observe=True``."""
+        return getattr(self.record, "trace", None)
+
     def result(self) -> Response:
         """The unified response; drains the backend when still queued.
 
@@ -242,6 +253,7 @@ class Future:
                 rejected_reason=self.record.rejected_reason,
                 arrival_ns=self.record.arrival_ns,
                 details=self._session._details_for(self.record),
+                trace=self.trace,
             )
 
 
@@ -282,12 +294,18 @@ class SessionReport:
         tier: ``"service"``, ``"cluster"``, or ``"host"``.
         requests: Futures this session submitted.
         details: The underlying tier metrics object.
+        obs: Metrics-registry snapshot
+            (``{"counters", "gauges", "histograms"}``) when the session's
+            observability plane is recording; None otherwise.  Note the
+            registry is plane-wide: a shared backend accumulates across
+            sessions, unlike the windowed fields above.
     """
 
     name: str
     tier: str
     requests: int
     details: Union[QueueMetrics, ClusterMetrics]
+    obs: Optional[Dict[str, Any]] = None
 
     def __getattr__(self, item: str) -> Any:
         # Delegate the shared queueing surface to the tier metrics; keeps
@@ -314,6 +332,15 @@ class PimSession:
             the backend's engine, so session responses price epilogues
             exactly as the legacy entry points did.
         name: Default label of this session's reports.
+        observe: Observability plane (``repro.obs``): ``True`` binds a
+            fresh recording :class:`~repro.obs.Observer` to the backend
+            (span trees per request, counters/histograms in
+            ``report().obs``); an observer shares a plane.  ``False``
+            (the default) adopts whatever plane the backend already
+            carries, so ``PimSession.over_service(observe=True)`` — the
+            knob forwarded to the frontend — also lights up the session
+            surface.  The host backend has no spans (it executes
+            immediately); a session over it records nothing.
     """
 
     def __init__(
@@ -321,10 +348,18 @@ class PimSession:
         backend: Backend,
         coster: Optional[QueryEngine] = None,
         name: str = "session",
+        observe: Union[bool, Observer] = False,
     ) -> None:
         self.backend = backend
         self.name = name
         self.tier = self._tier_of(backend)
+        if observe is False:
+            self.obs = getattr(backend, "obs", NULL_OBSERVER)
+        else:
+            self.obs = resolve_observe(observe)
+            binder = getattr(backend, "bind_observer", None)
+            if binder is not None:
+                binder(self.obs)
         self.futures: List[Future] = []
         self._coster = coster or self._default_coster()
         # Window snapshot: report() covers only this session's traffic.
@@ -353,7 +388,8 @@ class PimSession:
         keyword arguments go to the frontend (``policy``,
         ``max_queue_depth``, ``max_backlog_ns``, ``functional``,
         ``shed_low_priority``, ``optimize`` for the batch plan
-        optimizer).
+        optimizer, ``observe`` for the observability plane — the session
+        adopts the frontend's plane automatically).
         """
         from repro.service.executor import BatchExecutor  # local: avoid cycle
         from repro.service.frontend import ServiceFrontend  # local: avoid cycle
@@ -376,7 +412,8 @@ class PimSession:
         Keyword arguments go to the cluster frontend (``router``,
         ``engine_factory``, ``policy``, admission knobs,
         ``merge_ns_per_op``, ``optimize`` for shard-local batch plan
-        optimizers).
+        optimizers, ``observe`` for a cluster-wide observability plane —
+        the session adopts the cluster's plane automatically).
         """
         from repro.cluster.frontend import ClusterFrontend  # local: avoid cycle
 
@@ -552,7 +589,11 @@ class PimSession:
                 batches=self._window_batches(records),
             )
         return SessionReport(
-            name=label, tier=self.tier, requests=len(self.futures), details=metrics
+            name=label,
+            tier=self.tier,
+            requests=len(self.futures),
+            details=metrics,
+            obs=self.obs.snapshot() if self.obs.enabled else None,
         )
 
     # ------------------------------------------------------------------
@@ -679,6 +720,10 @@ class PimSession:
         record = self.backend.offer(
             request, priority=priority, deadline_ns=deadline_ns, arrival_ns=arrival
         )
+        if self.obs.enabled:
+            trace = getattr(record, "trace", None)
+            if trace is not None:
+                trace.set(submitted=kind, session=self.name)
         future = Future(self, spec, request, record, kind)
         self.futures.append(future)
         return future
@@ -728,4 +773,5 @@ class PimSession:
             sojourn_ns=record.sojourn_ns,
             deadline_missed=record.deadline_missed,
             details=self._details_for(record),
+            trace=getattr(record, "trace", None),
         )

@@ -47,6 +47,7 @@ from repro.analysis.metrics import ClusterMetrics, OperationMetrics, combine_ser
 from repro.cluster.router import ShardRouter
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.sharding import BitmapIndexShardView
+from repro.obs import Observer, resolve_observe
 from repro.service.executor import BatchExecutor
 from repro.service.frontend import ArrivalEvent, PipelineResult, ServiceFrontend
 from repro.service.planner import BatchPolicy
@@ -109,6 +110,10 @@ class ClusterRecord:
     host_merge_ns: float = 0.0
     start_ns: float = math.nan
     finish_ns: float = math.nan
+    #: Root :class:`repro.obs.Span` of the record's lifecycle (set only
+    #: when the cluster's observability plane is recording); the shard
+    #: parts' spans are adopted as its children at scatter time.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def completed(self) -> bool:
@@ -224,6 +229,13 @@ class ClusterFrontend:
             config.  Each shard's batches CSE and split shard-locally
             (over its own shard views and bank lanes); the gather path is
             untouched.  Ignored for pre-built ``shards``.
+        observe: Observability plane (``repro.obs``): ``True`` records
+            one span tree per cluster request (scatter → per-shard parts
+            → gather-merge) with every shard's frontend and executor
+            sharing the plane (shard-prefixed lane tracks), plus
+            cluster-level counters/histograms.  Applies to pre-built
+            ``shards`` too (they are re-bound).  Recording never changes
+            routing, admission, schedules, or results.
     """
 
     #: Default host cost of AND-merging two 8 KiB partial bitmaps.
@@ -244,6 +256,7 @@ class ClusterFrontend:
         shards: Optional[List[ServiceFrontend]] = None,
         merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
         optimize: Union[bool, "OptimizerConfig"] = False,
+        observe: Union[bool, Observer] = False,
     ) -> None:
         if merge_ns_per_op < 0.0:
             raise ValueError("merge_ns_per_op must be non-negative")
@@ -277,9 +290,89 @@ class ClusterFrontend:
         self.records: List[ClusterRecord] = []
         self.clock_ns = 0.0
         self._seq = 0
+        self.obs = resolve_observe(False)
+        resolved = resolve_observe(observe)
+        if resolved.enabled:
+            self.bind_observer(resolved)
         # Shard views per index, pinned by the index object itself (id()
         # reuse must not hand one index's placement to another).
         self._index_views: Dict[int, Tuple[BitmapIndex, Dict[int, BitmapIndexShardView]]] = {}
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def bind_observer(self, obs: Observer) -> None:
+        """Share one observability plane across the whole cluster.
+
+        Every shard frontend and executor records into the same tracer
+        and metrics registry; each shard's executor gets a ``shard<i>/``
+        track prefix so identical bank keys on different shard devices
+        stay distinct Perfetto tracks.
+        """
+        self.obs = obs
+        for shard_id, shard in enumerate(self.shards):
+            shard.executor.obs_prefix = f"shard{shard_id}/"
+            shard.bind_observer(obs)
+
+    def _obs_offered(self, record: ClusterRecord) -> None:
+        """Open the cluster record's root span at arrival."""
+        record.trace = self.obs.tracer.span(
+            "cluster_request", category="cluster", start_ns=record.arrival_ns
+        ).set(
+            kind=type(record.request).__name__,
+            seq=record.seq,
+            priority=record.priority,
+        )
+        self.obs.metrics.counter("cluster.offered").inc()
+
+    def _obs_scattered(self, record: ClusterRecord) -> None:
+        """Record the scatter outcome and adopt the part spans."""
+        span = record.trace
+        span.child(
+            "scatter",
+            category="cluster",
+            start_ns=record.arrival_ns,
+            end_ns=record.arrival_ns,
+        ).set(
+            fanout=record.fanout,
+            shard_ids=",".join(str(s) for s in record.shard_ids),
+            admitted=record.admitted,
+        )
+        for shard_id, part in zip(record.shard_ids, record.parts):
+            if part.trace is not None:
+                part.trace.set(shard=shard_id)
+                self.obs.tracer.adopt(part.trace, span)
+        registry = self.obs.metrics
+        registry.counter("cluster.fanout").inc(float(record.fanout))
+        if record.admitted:
+            registry.counter("cluster.admitted").inc()
+        else:
+            span.end(record.arrival_ns).set(
+                status="rejected", reason=record.rejected_reason
+            )
+            registry.counter("cluster.rejected").inc()
+
+    def _obs_gathered(self, record: ClusterRecord, tree_depth: int) -> None:
+        """Attach the gather-merge child and close the record's root."""
+        span = record.trace
+        if span is None:
+            return
+        if record.host_merge_ns > 0.0:
+            span.child(
+                "gather_merge",
+                category="cluster",
+                start_ns=record.finish_ns - record.host_merge_ns,
+                end_ns=record.finish_ns,
+            ).set(parts=len(record.parts), tree_levels=tree_depth)
+        span.end(record.finish_ns).set(
+            status="completed", deadline_missed=record.deadline_missed
+        )
+        registry = self.obs.metrics
+        registry.counter("cluster.completed").inc()
+        registry.counter("cluster.merge_ops").inc(float(max(0, len(record.parts) - 1)))
+        registry.histogram("cluster.sojourn_ns").observe(record.sojourn_ns)
+        if record.host_merge_ns > 0.0:
+            registry.histogram("cluster.host_merge_ns").observe(record.host_merge_ns)
 
     # ------------------------------------------------------------------
     # Load and placement
@@ -342,6 +435,8 @@ class ClusterFrontend:
         )
         self._seq += 1
         self.records.append(record)
+        if self.obs.enabled:
+            self._obs_offered(record)
 
         load = lambda shard: self.shard_load(shard, arrival)  # noqa: E731
         if isinstance(request, BitmapConjunctionRequest):
@@ -366,6 +461,8 @@ class ClusterFrontend:
                 for shard, sibling in zip(record.shard_ids[:-1], record.parts[:-1]):
                     self.shards[shard].cancel(sibling)
                 break
+        if self.obs.enabled:
+            self._obs_scattered(record)
         return record
 
     def _scatter_conjunction(
@@ -448,6 +545,7 @@ class ClusterFrontend:
         if len(parts) == 1:
             record.value = parts[0].value
             record.metrics = parts[0].metrics
+            self._obs_gathered(record, tree_depth=0)
             return
         # Scattered conjunction: AND the per-shard partial bitmaps.  The
         # merge runs host-side (it is NOT charged as device work); device
@@ -467,6 +565,7 @@ class ClusterFrontend:
             f"({tree_depth} levels)"
         )
         record.metrics = merged
+        self._obs_gathered(record, tree_depth=tree_depth)
 
     def gather(self) -> int:
         """Gather every finished record (public hook for sessions/futures);
@@ -487,6 +586,11 @@ class ClusterFrontend:
                 for shard, sibling in zip(record.shard_ids, record.parts):
                     if sibling.admitted and not sibling.completed:
                         self.shards[shard].cancel(sibling)
+                if record.trace is not None:
+                    record.trace.end(self.clock_ns).set(
+                        status="rejected", reason=record.rejected_reason
+                    )
+                    self.obs.metrics.counter("cluster.rejected").inc()
             if record.completed:
                 if math.isnan(record.finish_ns):
                     self._gather(record)

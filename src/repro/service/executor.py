@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,7 @@ from repro.ambit.bitvector import BulkBitVector
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.metrics import BatchMetrics, OperationMetrics, combine_serial
 from repro.database.bitweaving import BitWeavingColumn
+from repro.obs import Observer, Span, resolve_observe
 from repro.rowclone.engine import RowCloneEngine
 from repro.service.lanes import HOST_LANE, LaneSchedule
 from repro.service.pool import VectorPool
@@ -123,6 +124,14 @@ class BatchExecutor:
             violation raises a typed
             :class:`~repro.verify.errors.VerifyError`.  Off by default;
             intended for tests and benchmark certification runs.
+        observe: Observability plane (``repro.obs``): ``True`` records a
+            span per dispatched batch and per lane placement plus
+            executor counters/histograms; an :class:`~repro.obs.Observer`
+            shares a plane with the frontends.  Off by default — the
+            disabled path allocates no span objects, and recording never
+            changes results, schedules, or charged costs (the spans are
+            stamped from virtual-clock times the schedule already
+            computed).
     """
 
     def __init__(
@@ -136,6 +145,7 @@ class BatchExecutor:
         verify_fraction: float = 1.0,
         verify_seed: int = 0,
         sanitize: bool = False,
+        observe: Union[bool, Observer] = False,
     ) -> None:
         if not 0.0 <= verify_fraction <= 1.0:
             raise ValueError("verify_fraction must be in [0, 1]")
@@ -171,6 +181,38 @@ class BatchExecutor:
         # only replays its own placements, so certifying every dispatch
         # stays O(batch) rather than O(history).
         self._sanitizer = ScheduleSanitizer() if sanitize else None
+        #: Label prefix for this executor's trace tracks; the cluster tier
+        #: sets ``"shard<i>/"`` so identical bank keys on different shard
+        #: devices stay distinct Perfetto tracks.
+        self.obs_prefix = ""
+        self.bind_observer(resolve_observe(observe))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def bind_observer(self, obs: Observer) -> None:
+        """Adopt an observability plane (tracer + metrics registry).
+
+        Called at construction from the ``observe=`` knob, and by the
+        frontends when they push a shared plane down the pipeline.
+        Declares one trace track per bank lane plus the host lane and a
+        batch-dispatch row, so an exported trace always carries the full
+        lane topology — including lanes that never ran work.
+        """
+        self.obs = obs
+        if obs.enabled:
+            labels = [self.lane_label(key) for key in self.active_bank_keys()]
+            labels.append(self.lane_label(HOST_LANE))
+            labels.append(self.batches_track())
+            obs.tracer.declare_tracks(labels)
+
+    def lane_label(self, key) -> str:
+        """Export-track label of one lane key (shard-prefixed)."""
+        return f"{self.obs_prefix}{key}"
+
+    def batches_track(self) -> str:
+        """Export-track label of the batch-dispatch row."""
+        return f"{self.obs_prefix}batches"
 
     # ------------------------------------------------------------------
     # Execution
@@ -224,7 +266,16 @@ class BatchExecutor:
 
         if release_ns is None:
             release_ns = self.ready_ns()
-        makespan, device_busy, overlap = self._schedule(results, float(release_ns))
+        release = float(release_ns)
+        batch_span: Optional[Span] = None
+        if self.obs.enabled:
+            batch_span = self.obs.tracer.span(
+                f"batch {batch_index}",
+                category="executor",
+                start_ns=release,
+                track=(self.batches_track(),),
+            )
+        makespan, device_busy, overlap = self._schedule(results, release, batch_span)
         serial = combine_serial("batch_serial", (r.metrics for r in results))
         metrics = BatchMetrics(
             name="service_batch",
@@ -238,6 +289,19 @@ class BatchExecutor:
             cross_batch_overlap_ns=overlap,
             notes=f"{context.fused_ops} fused ops" if context.fused_ops else "",
         )
+        if batch_span is not None:
+            batch_span.end(release + makespan).set(
+                batch=batch_index,
+                requests=len(results),
+                fused_ops=context.fused_ops,
+                device_busy_ns=device_busy,
+                cross_batch_overlap_ns=overlap,
+            )
+            registry = self.obs.metrics
+            registry.counter("executor.batches").inc()
+            registry.counter("executor.requests").inc(float(len(results)))
+            registry.counter("executor.fused_ops").inc(float(context.fused_ops))
+            registry.histogram("executor.batch_makespan_ns").observe(makespan)
         return BatchResult(results=results, metrics=metrics)
 
     def _verify_sampled(self, batch_index: int, request_index: int) -> bool:
@@ -597,7 +661,10 @@ class BatchExecutor:
         return []
 
     def _schedule(
-        self, results: List[RequestResult], release_ns: float
+        self,
+        results: List[RequestResult],
+        release_ns: float,
+        batch_span: Optional[Span] = None,
     ) -> Tuple[float, float, float]:
         """Greedy per-bank lane schedule of one dispatched batch.
 
@@ -654,6 +721,21 @@ class BatchExecutor:
             banks = result.bank_ids or [HOST_LANE]
             start, finish = lanes.place(banks, result.metrics.latency_ns, release)
             result.start_ns = start
+            if batch_span is not None:
+                # One exec span per placement, on every lane it occupies —
+                # the export replays these intervals to reproduce the
+                # lanes' busy union exactly.
+                batch_span.child(
+                    result.metrics.name,
+                    category="exec",
+                    start_ns=start,
+                    end_ns=finish,
+                    track=tuple(self.lane_label(key) for key in banks),
+                ).set(
+                    latency_ns=result.metrics.latency_ns,
+                    release_ns=release,
+                    banks=len(banks),
+                )
             finishes.append(finish)
             overlap += max(0.0, min(finish, prev_horizon) - start)
             finish_max = max(finish_max, finish)

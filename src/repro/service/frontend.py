@@ -67,6 +67,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Unio
 import numpy as np
 
 from repro.analysis.metrics import LaneMetrics, QueueMetrics, summarize_queue_records
+from repro.obs import Observer, resolve_observe
 from repro.service.executor import BatchExecutor
 from repro.service.lanes import HOST_LANE
 from repro.service.planner import BatchPlanner, BatchPolicy
@@ -224,6 +225,15 @@ class ServiceFrontend:
             :class:`~repro.optimizer.OptimizerConfig`, or an explicit
             config.  Ignored when an explicit ``planner`` is passed
             (configure that planner directly).
+        observe: Observability plane (``repro.obs``): ``True`` records a
+            span tree per request (admission → queue → service) plus
+            frontend counters/gauges/histograms, and pushes the plane
+            down to the executor (batch + lane spans).  An
+            :class:`~repro.obs.Observer` shares one plane across
+            components; ``False`` (the default) adopts whatever plane the
+            executor already carries — so either end of the pipeline can
+            switch tracing on.  Recording never changes admission,
+            schedules, results, or accounting.
     """
 
     def __init__(
@@ -236,6 +246,7 @@ class ServiceFrontend:
         functional: bool = False,
         shed_low_priority: bool = False,
         optimize: Union[bool, "OptimizerConfig"] = False,
+        observe: Union[bool, Observer] = False,
     ) -> None:
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
@@ -255,6 +266,99 @@ class ServiceFrontend:
         self._seq = 0
         self._backlog_ns = 0.0
         self._bank_backlog: Dict = {key: 0.0 for key in self.executor.active_bank_keys()}
+        if observe is False:
+            # Adopt the executor's plane, so `BatchExecutor(observe=True)`
+            # alone traces the full pipeline (and the default stays the
+            # shared no-op observer).
+            self.obs = self.executor.obs
+        else:
+            self.bind_observer(resolve_observe(observe))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def bind_observer(self, obs: Observer) -> None:
+        """Adopt an observability plane and push it to the executor."""
+        self.obs = obs
+        self.executor.bind_observer(obs)
+
+    def _obs_offered(self, queued: QueuedRequest) -> None:
+        """Open the request's root span at arrival."""
+        span = self.obs.tracer.span("request", category="request", start_ns=queued.arrival_ns)
+        span.set(
+            kind=type(queued.request).__name__,
+            seq=queued.seq,
+            priority=queued.priority,
+        )
+        if queued.deadline_ns is not None:
+            span.set(
+                deadline_ns=queued.deadline_ns,
+                deadline_slack_ns=queued.deadline_ns - queued.arrival_ns,
+            )
+        queued.trace = span
+        self.obs.metrics.counter("frontend.offered").inc()
+
+    def _obs_admitted(self, queued: QueuedRequest) -> None:
+        """Record the admission decision and refresh the queue gauges."""
+        queued.trace.child(
+            "admission",
+            category="request",
+            start_ns=queued.arrival_ns,
+            end_ns=queued.arrival_ns,
+        ).set(
+            admitted=True,
+            modeled_ns=queued.modeled_ns,
+            modeled_banks=len(queued.modeled_banks),
+        )
+        registry = self.obs.metrics
+        registry.counter("frontend.admitted").inc()
+        registry.gauge("frontend.queue_depth").set(float(len(self._heap)))
+        registry.gauge("frontend.backlog_ns").set(self.backlog_ns)
+
+    def _obs_rejected(self, queued: QueuedRequest) -> None:
+        """Close the root span of a request refused at the door."""
+        queued.trace.child(
+            "admission",
+            category="request",
+            start_ns=queued.arrival_ns,
+            end_ns=queued.arrival_ns,
+        ).set(admitted=False, reason=queued.rejected_reason)
+        queued.trace.end(queued.arrival_ns).set(
+            status="rejected", reason=queued.rejected_reason
+        )
+        registry = self.obs.metrics
+        registry.counter("frontend.rejected").inc()
+        registry.counter(f"frontend.rejected.{queued.rejected_reason}").inc()
+
+    def _obs_served(self, queued: QueuedRequest, batch_index: int) -> None:
+        """Attach queue/service children and close the root at finish."""
+        span = queued.trace
+        span.child(
+            "queue",
+            category="request",
+            start_ns=queued.arrival_ns,
+            end_ns=queued.start_ns,
+        )
+        span.child(
+            "service",
+            category="request",
+            start_ns=queued.start_ns,
+            end_ns=queued.finish_ns,
+        ).set(
+            batch=batch_index,
+            ops_eliminated=queued.ops_eliminated,
+            shared_subchains=queued.shared_subchains,
+            host_merge_ns=queued.host_merge_ns,
+        )
+        span.end(queued.finish_ns).set(
+            status="completed", deadline_missed=queued.deadline_missed
+        )
+        registry = self.obs.metrics
+        registry.counter("frontend.completed").inc()
+        if queued.deadline_missed:
+            registry.counter("frontend.deadline_misses").inc()
+        registry.histogram("frontend.wait_ns").observe(queued.wait_ns)
+        registry.histogram("frontend.sojourn_ns").observe(queued.sojourn_ns)
 
     # ------------------------------------------------------------------
     # Admission
@@ -360,6 +464,13 @@ class ServiceFrontend:
             self._reset_backlog()
         queued.admitted = False
         queued.rejected_reason = reason
+        if self.obs.enabled:
+            if queued.trace is not None:
+                # The span ends when the request leaves the system — at
+                # the shed/cancel instant, not its arrival.
+                queued.trace.end(self.clock_ns).set(status="rejected", reason=reason)
+            self.obs.metrics.counter("frontend.rejected").inc()
+            self.obs.metrics.counter(f"frontend.rejected.{reason}").inc()
 
     def _evict(self, victim: QueuedRequest, reason: str) -> None:
         self._remove_queued(victim, reason)
@@ -439,6 +550,9 @@ class ServiceFrontend:
         )
         self._seq += 1
         self.records.append(queued)
+        observe = self.obs.enabled
+        if observe:
+            self._obs_offered(queued)
 
         # Depth check first: a queue-full rejection must not pay for the
         # latency model (for scans that is a full host-side evaluation).
@@ -455,6 +569,8 @@ class ServiceFrontend:
             if not victims:
                 queued.admitted = False
                 queued.rejected_reason = "queue_full"
+                if observe:
+                    self._obs_rejected(queued)
                 return queued
         queued.modeled_ns = self.planner.modeled_latency_ns(request)
         queued.modeled_banks = self.planner.modeled_banks(request)
@@ -464,16 +580,22 @@ class ServiceFrontend:
                 if extra is None:
                     queued.admitted = False
                     queued.rejected_reason = "bank_occupancy"
+                    if observe:
+                        self._obs_rejected(queued)
                     return queued
                 victims.extend(extra)
             elif self._occupancy_with(self._bank_backlog, queued) > self.max_backlog_ns:
                 queued.admitted = False
                 queued.rejected_reason = "bank_occupancy"
+                if observe:
+                    self._obs_rejected(queued)
                 return queued
         for victim in victims:
             self._evict(victim, "shed")
         heapq.heappush(self._heap, (queued.sort_key(), queued))
         self._charge(queued, 1.0)
+        if observe:
+            self._obs_admitted(queued)
         return queued
 
     # ------------------------------------------------------------------
@@ -536,10 +658,27 @@ class ServiceFrontend:
 
         primitives, groups = self.planner.lower_batch(closed)
         batch_start = self.clock_ns
+        batch_index = len(self.batches)
+        observe = self.obs.enabled
+        if observe:
+            # Instant marker on the batch row: what planning/optimization
+            # did to this batch before it hit the lanes.
+            self.obs.tracer.span(
+                "plan",
+                category="planner",
+                start_ns=batch_start,
+                end_ns=batch_start,
+                track=(self.executor.batches_track(),),
+            ).set(
+                batch=batch_index,
+                requests=len(closed),
+                primitives=len(primitives),
+                ops_eliminated=sum(g.ops_eliminated for g in groups),
+                shared_subchains=sum(g.shared_subchains for g in groups),
+            )
         batch = self.executor.run(
             primitives, functional=self.functional, release_ns=batch_start
         )
-        batch_index = len(self.batches)
         for group in groups:
             queued = group.queued
             queued.batch_index = batch_index
@@ -568,8 +707,14 @@ class ServiceFrontend:
             queued.host_merge_ns = group.host_merge_ns
             queued.ops_eliminated = group.ops_eliminated
             queued.shared_subchains = group.shared_subchains
+            if observe and queued.trace is not None:
+                self._obs_served(queued, batch_index)
         batch.metrics.ops_eliminated = sum(g.ops_eliminated for g in groups)
         batch.metrics.shared_subchains = sum(g.shared_subchains for g in groups)
+        if observe:
+            registry = self.obs.metrics
+            registry.gauge("frontend.queue_depth").set(float(len(self._heap)))
+            registry.gauge("frontend.backlog_ns").set(self.backlog_ns)
         if not pipelined:
             self.clock_ns = batch_start + batch.metrics.latency_ns
         self.busy_ns += batch.metrics.busy_ns

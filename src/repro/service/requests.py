@@ -203,6 +203,10 @@ class QueuedRequest:
     #: Sub-chains of this request served from another request's (or an
     #: earlier duplicate's) lowered output instead of being re-lowered.
     shared_subchains: int = 0
+    #: Root :class:`repro.obs.Span` of this request's lifecycle — set by
+    #: the frontend only when its observability plane is recording
+    #: (``observe=True``); None under the default no-op plane.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def completed(self) -> bool:

@@ -19,6 +19,12 @@ Four rules, each guarding an invariant the simulator's design depends on
   ``object.__setattr__`` idiom (used in ``__post_init__``) is not flagged.
 * ``export-drift`` — an ``__all__`` entry that is not bound at module top
   level (or listed twice): the export list has drifted from the module.
+* ``obs-wall-clock`` — importing ``time``/``random``/``datetime`` inside
+  ``repro.obs``.  The observability plane stamps spans from the same
+  virtual-clock timestamps the scheduler computed; a wall-clock read
+  there would silently desynchronise traces from the simulation (and is
+  the one place ``datetime`` imports are tempting, for "timestamps").
+  Fires *instead of* the generic ``wall-clock`` rule on those files.
 
 A finding is suppressed by a ``# lint: allow[<rule>]`` comment on its
 line.  Run locally with::
@@ -39,12 +45,17 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 #: Rules this linter knows (the only rule names a waiver may reference).
-RULES = ("mutable-default", "wall-clock", "frozen-mutation", "export-drift")
+RULES = ("mutable-default", "wall-clock", "frozen-mutation", "export-drift", "obs-wall-clock")
 
 _WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z-]+)\]")
 
 #: Stdlib modules whose import means wall-clock/process randomness.
 _WALL_CLOCK_MODULES = {"time", "random"}
+
+#: Modules banned inside ``repro.obs``: the tracing plane must only ever
+#: see virtual-clock nanoseconds, so even ``datetime`` (allowed elsewhere
+#: for formatting) is off-limits there.
+_OBS_CLOCK_MODULES = {"time", "random", "datetime"}
 
 #: Mutable literal node types a default must never be.
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
@@ -116,6 +127,9 @@ class _ModuleLinter(ast.NodeVisitor):
         # Frozen-dataclass nesting: methods of a frozen dataclass may not
         # assign to self; a nested non-frozen class resets the context.
         self._frozen_stack: List[bool] = []
+        # Observability modules get the stricter clock rule (obs-wall-clock
+        # fires there instead of the generic wall-clock rule).
+        self._in_obs = "repro/obs" in path.replace("\\", "/")
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -167,28 +181,35 @@ class _ModuleLinter(ast.NodeVisitor):
         # hazard (and the immutable cases belong in a plain constant).
         return isinstance(value, ast.Call)
 
-    # -- wall-clock ----------------------------------------------------
+    # -- wall-clock / obs-wall-clock -----------------------------------
+    def _clock_import(self, node: ast.AST, root: str, phrase: str) -> None:
+        """Flag a clock-tainted import under whichever rule applies here."""
+        if self._in_obs:
+            if root in _OBS_CLOCK_MODULES:
+                self._add(
+                    node,
+                    "obs-wall-clock",
+                    f"{phrase} inside repro.obs: spans must carry virtual-clock "
+                    "nanoseconds only, never host time",
+                )
+        elif root in _WALL_CLOCK_MODULES:
+            self._add(
+                node,
+                "wall-clock",
+                f"{phrase}: the simulator runs on a virtual "
+                "clock with seeded NumPy RNGs",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
-            if root in _WALL_CLOCK_MODULES:
-                self._add(
-                    node,
-                    "wall-clock",
-                    f"import of {alias.name!r}: the simulator runs on a virtual "
-                    "clock with seeded NumPy RNGs",
-                )
+            self._clock_import(node, root, f"import of {alias.name!r}")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         root = (node.module or "").split(".")[0]
-        if node.level == 0 and root in _WALL_CLOCK_MODULES:
-            self._add(
-                node,
-                "wall-clock",
-                f"import from {node.module!r}: the simulator runs on a virtual "
-                "clock with seeded NumPy RNGs",
-            )
+        if node.level == 0:
+            self._clock_import(node, root, f"import from {node.module!r}")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Validate emitted ``BENCH_*.json`` trajectories against small schemas.
+"""Validate emitted ``BENCH_*.json`` / ``TRACE_*.json`` files against schemas.
 
 The benchmarks emit machine-readable perf trajectories (see
 ``benchmarks/_bench_utils.emit_json``) that CI archives and diffs across
@@ -8,10 +8,14 @@ a division by an empty window, a stringified number — previously uploaded
 silently and poisoned every later comparison.  This tool makes CI fail
 instead::
 
-    python tools/validate_bench.py BENCH_*.json
+    python tools/validate_bench.py BENCH_*.json TRACE_*.json
 
-Each file is checked against the schema registered for its name
-(``BENCH_<name>.json``); unknown names still get the generic sweep.  Two
+Each ``BENCH_<name>.json`` file is checked against the schema registered
+for its name; unknown names still get the generic sweep.  ``TRACE_*.json``
+files (Perfetto trace-event exports from ``repro.obs``, see
+``benchmarks/_bench_utils.emit_trace``) validate against the trace-event
+schema, and ``METRICS_*.json`` files against the metrics-snapshot schema
+(also accepted embedded in a trace under its ``metrics`` key).  Two
 layers of checking:
 
 * a **generic sweep** over every payload: valid JSON, an object at the
@@ -32,7 +36,7 @@ import json
 import re
 import sys
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 JsonSchema = Dict[str, Any]
 
@@ -187,6 +191,64 @@ _OPTIMIZER_MODE: JsonSchema = {
     },
 }
 
+#: One Chrome/Perfetto trace event.  ``X`` (complete) events carry ``dur``;
+#: ``M`` (metadata) events carry only ``args``; all share the envelope.
+_TRACE_EVENT: JsonSchema = {
+    "type": "object",
+    "required": ["name", "ph", "pid", "tid", "ts"],
+    "properties": {
+        "name": {"type": "string"},
+        "cat": {"type": "string"},
+        "ph": {"type": "string"},
+        "pid": _COUNT,
+        "tid": _COUNT,
+        "ts": _NS,
+        "dur": _NS,
+        "args": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+#: One streaming-histogram snapshot from ``repro.obs.MetricsRegistry``.
+_HISTOGRAM_SNAPSHOT: JsonSchema = {
+    "type": "object",
+    "required": ["count", "sum", "min", "max", "p50", "p99"],
+    "properties": {
+        "count": _COUNT,
+        "sum": _NUMBER,
+        "min": _NUMBER,
+        "max": _NUMBER,
+        "p50": _NUMBER,
+        "p99": _NUMBER,
+    },
+    "additionalProperties": False,
+}
+
+#: A full metrics-registry snapshot (``METRICS_*.json`` or the ``metrics``
+#: key of a trace file).
+METRICS_SNAPSHOT_SCHEMA: JsonSchema = {
+    "type": "object",
+    "required": ["counters", "gauges", "histograms"],
+    "properties": {
+        "counters": {"type": "object", "additionalProperties": _NUMBER},
+        "gauges": {"type": "object", "additionalProperties": _NUMBER},
+        "histograms": {"type": "object", "additionalProperties": _HISTOGRAM_SNAPSHOT},
+    },
+    "additionalProperties": False,
+}
+
+#: A Perfetto trace-event export (``TRACE_*.json``).
+TRACE_SCHEMA: JsonSchema = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {"type": "array", "items": _TRACE_EVENT},
+        "displayTimeUnit": {"type": "string"},
+        "metrics": METRICS_SNAPSHOT_SCHEMA,
+    },
+    "additionalProperties": False,
+}
+
 SCHEMAS: Dict[str, JsonSchema] = {
     "pipeline": {
         "type": "object",
@@ -275,11 +337,26 @@ def _sweep_finite(instance: Any, path: str = "$") -> List[str]:
     return errors
 
 
+def _schema_for(name: str) -> Optional[JsonSchema]:
+    """Pick the schema a file name demands (None: generic sweep only)."""
+    match = re.fullmatch(r"TRACE_(.+)\.json", name)
+    if match is not None:
+        return TRACE_SCHEMA
+    match = re.fullmatch(r"METRICS_(.+)\.json", name)
+    if match is not None:
+        return METRICS_SNAPSHOT_SCHEMA
+    match = re.fullmatch(r"BENCH_(.+)\.json", name)
+    if match is not None:
+        return SCHEMAS.get(match.group(1))
+    raise ValueError("not named BENCH_<name>.json, TRACE_<name>.json, or METRICS_<name>.json")
+
+
 def validate_file(path: Path) -> List[str]:
-    """Validate one BENCH_*.json file; returns error strings."""
-    match = re.fullmatch(r"BENCH_(.+)\.json", path.name)
-    if match is None:
-        return [f"{path}: not named BENCH_<name>.json"]
+    """Validate one BENCH/TRACE/METRICS json file; returns error strings."""
+    try:
+        schema = _schema_for(path.name)
+    except ValueError as error:
+        return [f"{path}: {error}"]
     try:
         payload = json.loads(path.read_text(), parse_constant=_reject_constant)
     except ValueError as error:
@@ -288,7 +365,6 @@ def validate_file(path: Path) -> List[str]:
     if not isinstance(payload, dict):
         errors.append(f"{path}: top level must be a JSON object")
         return errors
-    schema = SCHEMAS.get(match.group(1))
     if schema is not None:
         errors.extend(f"{path}: {e}" for e in validate(payload, schema))
     return errors
@@ -296,7 +372,7 @@ def validate_file(path: Path) -> List[str]:
 
 def main(argv: List[str]) -> int:
     if not argv:
-        print("usage: validate_bench.py BENCH_*.json", file=sys.stderr)
+        print("usage: validate_bench.py BENCH_*.json TRACE_*.json", file=sys.stderr)
         return 2
     failures: List[str] = []
     for arg in argv:
