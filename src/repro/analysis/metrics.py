@@ -100,6 +100,11 @@ class BatchMetrics:
             the batch's unoptimized plan total (cross-request CSE).
         shared_subchains: Predicate sub-chains served from another
             request's lowering instead of re-executing.
+        cache_hits: Sub-chains (or whole conjunctions) served from the
+            cross-batch result cache instead of re-running bank work.
+        cache_misses: Result-cache lookups that missed (0 with caching
+            off).
+        cache_invalidations: Cached bitmaps the batch's writes dropped.
         notes: Free-form annotation.
     """
 
@@ -114,6 +119,9 @@ class BatchMetrics:
     cross_batch_overlap_ns: float = 0.0
     ops_eliminated: int = 0
     shared_subchains: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
     notes: str = ""
 
     @property
@@ -253,6 +261,11 @@ class QueueMetrics:
             across the completed requests (cross-request CSE).
         shared_subchains: Predicate sub-chains completed requests served
             from another request's lowering.
+        cache_hits: Sub-chains (or whole conjunctions) completed requests
+            served from the cross-batch result cache.
+        cache_misses: Result-cache lookups that missed (0 with caching
+            off).
+        cache_invalidations: Cached bitmaps dropped by completed writes.
     """
 
     name: str
@@ -274,6 +287,9 @@ class QueueMetrics:
     host_merge_ns: float = 0.0
     ops_eliminated: int = 0
     shared_subchains: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -354,6 +370,9 @@ def summarize_envelopes(records: Sequence) -> Dict:
         host_merge_ns=sum(getattr(r, "host_merge_ns", 0.0) for r in completed),
         ops_eliminated=sum(getattr(r, "ops_eliminated", 0) for r in completed),
         shared_subchains=sum(getattr(r, "shared_subchains", 0) for r in completed),
+        cache_hits=sum(getattr(r, "cache_hits", 0) for r in completed),
+        cache_misses=sum(getattr(r, "cache_misses", 0) for r in completed),
+        cache_invalidations=sum(getattr(r, "cache_invalidations", 0) for r in completed),
     )
 
 
@@ -422,6 +441,11 @@ class ClusterMetrics:
             removed across the completed requests (cross-request CSE).
         shared_subchains: Predicate sub-chains completed requests served
             from another request's lowering on some shard.
+        cache_hits: Sub-chains completed requests served from the
+            shard-local result caches instead of re-running bank work.
+        cache_misses: Shard-local result-cache lookups that missed.
+        cache_invalidations: Cached bitmaps dropped by completed writes
+            across the shards.
         per_shard: Each shard frontend's own queueing summary.
     """
 
@@ -448,6 +472,9 @@ class ClusterMetrics:
     host_merge_ns: float = 0.0
     ops_eliminated: int = 0
     shared_subchains: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
     per_shard: List[QueueMetrics] = field(default_factory=list)
 
     @property

@@ -22,9 +22,13 @@ additions are deliberate API growth, removals are breaking changes.
 from repro.api.backends import Backend, HostBackend
 from repro.api.plans import (
     SCAN_KINDS,
+    AppendSpec,
     ConjunctionSpec,
+    DeleteSpec,
     QuerySpec,
     ScanSpec,
+    UpdateSpec,
+    WriteSpec,
     lower_conjunction_steps,
     range_count_spec,
     spec_for_request,
@@ -42,9 +46,11 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "AppendSpec",
     "Backend",
     "ClusterDetails",
     "ConjunctionSpec",
+    "DeleteSpec",
     "Future",
     "HostBackend",
     "HostDetails",
@@ -57,6 +63,8 @@ __all__ = [
     "ScanSpec",
     "ServiceDetails",
     "SessionReport",
+    "UpdateSpec",
+    "WriteSpec",
     "lower_conjunction_steps",
     "range_count_spec",
     "spec_for_request",

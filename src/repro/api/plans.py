@@ -50,6 +50,7 @@ from repro.service.requests import SCAN_KINDS
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.database.bitweaving import BitWeavingColumn, ScanPlan
     from repro.service.requests import BitmapConjunctionRequest, ScanRequest
+    from repro.storage.requests import AppendRequest, DeleteRequest, UpdateRequest
 
 
 @dataclass(frozen=True)
@@ -133,8 +134,98 @@ class ConjunctionSpec:
         return BitmapConjunctionRequest(index=self.index, predicates=self.predicates)
 
 
+@dataclass(frozen=True)
+class AppendSpec:
+    """Declarative description of a row append (every column covered).
+
+    Attributes:
+        table: The table gaining rows.
+        index: The bitmap index maintained over it.
+        rows: Per-column code sequences, equal lengths.
+    """
+
+    table: Any
+    index: Any
+    rows: Any
+
+    @property
+    def num_rows(self) -> None:
+        """None: a write's response value is rows affected, not a bitmap."""
+        return None
+
+    def to_request(self) -> "AppendRequest":
+        """Lower to the storage write request the frontends queue."""
+        from repro.storage.requests import AppendRequest  # local: avoid cycle
+
+        return AppendRequest(table=self.table, index=self.index, rows=self.rows)
+
+
+@dataclass(frozen=True)
+class UpdateSpec:
+    """Declarative description of ``column[row_ids] = values``.
+
+    Row ids must be unique within one update (the incremental plane
+    maintenance is ambiguous otherwise).
+    """
+
+    table: Any
+    index: Any
+    column: str
+    row_ids: Tuple[int, ...]
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row_ids", tuple(self.row_ids))
+        object.__setattr__(self, "values", tuple(self.values))
+        if len(self.row_ids) != len(self.values):
+            raise ValueError("row_ids and values must have equal lengths")
+
+    @property
+    def num_rows(self) -> None:
+        """None: a write's response value is rows affected, not a bitmap."""
+        return None
+
+    def to_request(self) -> "UpdateRequest":
+        """Lower to the storage write request the frontends queue."""
+        from repro.storage.requests import UpdateRequest  # local: avoid cycle
+
+        return UpdateRequest(
+            table=self.table,
+            index=self.index,
+            column=self.column,
+            row_ids=self.row_ids,
+            values=self.values,
+        )
+
+
+@dataclass(frozen=True)
+class DeleteSpec:
+    """Declarative description of a physical row deletion (rows renumber)."""
+
+    table: Any
+    index: Any
+    row_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row_ids", tuple(self.row_ids))
+
+    @property
+    def num_rows(self) -> None:
+        """None: a write's response value is rows affected, not a bitmap."""
+        return None
+
+    def to_request(self) -> "DeleteRequest":
+        """Lower to the storage write request the frontends queue."""
+        from repro.storage.requests import DeleteRequest  # local: avoid cycle
+
+        return DeleteRequest(table=self.table, index=self.index, row_ids=self.row_ids)
+
+
 #: Everything a :class:`~repro.api.session.PimSession` accepts declaratively.
 QuerySpec = Union[ScanSpec, ConjunctionSpec]
+
+#: The mutation specs :meth:`PimSession.append` / ``update`` / ``delete`` build.
+WriteSpec = Union[AppendSpec, UpdateSpec, DeleteSpec]
 
 
 def range_count_spec(column: "BitWeavingColumn", low: int, high: int) -> ScanSpec:
@@ -142,17 +233,23 @@ def range_count_spec(column: "BitWeavingColumn", low: int, high: int) -> ScanSpe
     return ScanSpec(column=column, kind="between", constants=(low, high))
 
 
-def spec_for_request(request: object) -> QuerySpec:
-    """Recover the declarative spec of an already-lowered query request.
+def spec_for_request(request: object) -> Union[QuerySpec, WriteSpec]:
+    """Recover the declarative spec of an already-lowered request.
 
     Lets streams of raw :class:`~repro.service.requests.ScanRequest` /
-    :class:`~repro.service.requests.BitmapConjunctionRequest` objects (the
-    shape the arrival schedulers and the retry client produce) flow
-    through the session API without re-wrapping by hand.
+    :class:`~repro.service.requests.BitmapConjunctionRequest` (and the
+    storage write requests) — the shape the arrival schedulers and the
+    retry client produce — flow through the session API without
+    re-wrapping by hand.
     """
     from repro.service.requests import (  # local: avoid cycle
         BitmapConjunctionRequest,
         ScanRequest,
+    )
+    from repro.storage.requests import (  # local: avoid cycle
+        AppendRequest,
+        DeleteRequest,
+        UpdateRequest,
     )
 
     if isinstance(request, ScanRequest):
@@ -161,6 +258,20 @@ def spec_for_request(request: object) -> QuerySpec:
         )
     if isinstance(request, BitmapConjunctionRequest):
         return ConjunctionSpec(index=request.index, predicates=request.predicates)
+    if isinstance(request, AppendRequest):
+        return AppendSpec(table=request.table, index=request.index, rows=request.rows)
+    if isinstance(request, UpdateRequest):
+        return UpdateSpec(
+            table=request.table,
+            index=request.index,
+            column=request.column,
+            row_ids=tuple(request.row_ids),
+            values=tuple(request.values),
+        )
+    if isinstance(request, DeleteRequest):
+        return DeleteSpec(
+            table=request.table, index=request.index, row_ids=tuple(request.row_ids)
+        )
     raise TypeError(f"no query spec for request type {type(request).__name__}")
 
 

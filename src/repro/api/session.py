@@ -50,9 +50,13 @@ from repro.analysis.metrics import (
 )
 from repro.api.backends import Backend, HostBackend
 from repro.api.plans import (
+    AppendSpec,
     ConjunctionSpec,
+    DeleteSpec,
     QuerySpec,
     ScanSpec,
+    UpdateSpec,
+    WriteSpec,
     range_count_spec,
     spec_for_request,
 )
@@ -80,21 +84,28 @@ class RequestRejected(RuntimeError):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ServiceDetails:
-    """Service-tier extras: which batch served the request and what the
-    admission model charged for it."""
+    """Service-tier extras: which batch served the request, what the
+    admission model charged for it, and how the result cache treated it."""
 
     batch_index: int
     modeled_ns: float
     modeled_banks: Tuple = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
 
 @dataclass(frozen=True)
 class ClusterDetails:
-    """Cluster-tier extras: where the request ran and what the gather cost."""
+    """Cluster-tier extras: where the request ran, what the gather cost,
+    and how the shard-local result caches treated it."""
 
     shard_ids: Tuple[int, ...]
     fanout: int
     host_merge_ns: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
 
 @dataclass(frozen=True)
@@ -116,7 +127,8 @@ class Response:
 
     Attributes:
         kind: What was asked (``"scan"``, ``"range_count"``,
-            ``"conjunction"``, or ``"request"`` for raw primitives).
+            ``"conjunction"``, a write — ``"append"`` / ``"update"`` /
+            ``"delete"`` — or ``"request"`` for raw primitives).
         status: ``"completed"`` or ``"rejected"``.
         value: The packed result bitmap (None when rejected, or for
             requests without a bitmap result).
@@ -275,6 +287,9 @@ _SHARED_METRIC_FIELDS = (
     "host_merge_ns",
     "ops_eliminated",
     "shared_subchains",
+    "cache_hits",
+    "cache_misses",
+    "cache_invalidations",
 )
 
 
@@ -470,6 +485,55 @@ class PimSession:
         )
         return self._submit_spec(spec, "conjunction", priority, deadline_ns, at_ns)
 
+    def append(
+        self,
+        table,
+        index,
+        rows,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit a row append; the response value is rows appended."""
+        spec = AppendSpec(table=table, index=index, rows=rows)
+        return self._submit_spec(spec, "append", priority, deadline_ns, at_ns)
+
+    def update(
+        self,
+        table,
+        index,
+        column: str,
+        row_ids: Sequence[int],
+        values: Sequence[int],
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit ``column[row_ids] = values``; the response value is rows
+        overwritten.  Row ids must be unique within one update."""
+        spec = UpdateSpec(
+            table=table,
+            index=index,
+            column=column,
+            row_ids=tuple(row_ids),
+            values=tuple(values),
+        )
+        return self._submit_spec(spec, "update", priority, deadline_ns, at_ns)
+
+    def delete(
+        self,
+        table,
+        index,
+        row_ids: Sequence[int],
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
+        at_ns: Optional[float] = None,
+    ) -> Future:
+        """Submit a physical row deletion; the response value is rows
+        removed (rows after them renumber down)."""
+        spec = DeleteSpec(table=table, index=index, row_ids=tuple(row_ids))
+        return self._submit_spec(spec, "delete", priority, deadline_ns, at_ns)
+
     def submit(
         self,
         work,
@@ -483,15 +547,28 @@ class PimSession:
         shape arrival schedulers produce) pass through untouched so their
         cached evaluations are preserved.
         """
-        if isinstance(work, (ScanSpec, ConjunctionSpec)):
-            kind = "conjunction" if isinstance(work, ConjunctionSpec) else "scan"
-            return self._submit_spec(work, kind, priority, deadline_ns, at_ns)
+        if isinstance(work, (ScanSpec, ConjunctionSpec, AppendSpec, UpdateSpec, DeleteSpec)):
+            return self._submit_spec(
+                work, self._kind_of_spec(work), priority, deadline_ns, at_ns
+            )
         try:
             spec = spec_for_request(work)
-            kind = "conjunction" if isinstance(spec, ConjunctionSpec) else "scan"
+            kind = self._kind_of_spec(spec)
         except TypeError:
             spec, kind = None, "request"
         return self._submit(spec, work, kind, priority, deadline_ns, at_ns)
+
+    @staticmethod
+    def _kind_of_spec(spec: Union[QuerySpec, WriteSpec]) -> str:
+        if isinstance(spec, ConjunctionSpec):
+            return "conjunction"
+        if isinstance(spec, ScanSpec):
+            return "scan"
+        if isinstance(spec, AppendSpec):
+            return "append"
+        if isinstance(spec, UpdateSpec):
+            return "update"
+        return "delete"
 
     def submit_stream(self, events: Iterable[ArrivalEvent]) -> List[Future]:
         """Submit a whole arrival stream; futures come back in event order.
@@ -734,6 +811,9 @@ class PimSession:
                 shard_ids=tuple(record.shard_ids),
                 fanout=len(record.shard_ids),
                 host_merge_ns=getattr(record, "host_merge_ns", 0.0),
+                cache_hits=getattr(record, "cache_hits", 0),
+                cache_misses=getattr(record, "cache_misses", 0),
+                cache_invalidations=getattr(record, "cache_invalidations", 0),
             )
         if self.tier == "host":
             return HostDetails()
@@ -741,6 +821,9 @@ class PimSession:
             batch_index=record.batch_index,
             modeled_ns=record.modeled_ns,
             modeled_banks=tuple(record.modeled_banks),
+            cache_hits=getattr(record, "cache_hits", 0),
+            cache_misses=getattr(record, "cache_misses", 0),
+            cache_invalidations=getattr(record, "cache_invalidations", 0),
         )
 
     def _build_response(self, future: Future) -> Response:

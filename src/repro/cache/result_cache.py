@@ -1,0 +1,246 @@
+"""Repetition-aware cross-batch result cache for conjunction bitmaps.
+
+PR 7's CSE is deliberately batch-scoped: a shared sub-chain result dies
+when its batch dispatches.  :class:`ResultCache` is the missing layer
+*between* batches — finished predicate and conjunction bitmaps, keyed by
+the same canonical keys (:mod:`repro.optimizer.canonical`), parked in
+host memory so a repeated sub-chain in a later batch costs zero bank
+work.
+
+Consistency comes from two mechanisms:
+
+* **Write-driven invalidation** — every entry carries its column-level
+  dependency set; a write drops the entries whose dependencies it
+  touched (appends/deletes change ``num_rows`` and drop everything for
+  that index).
+* **Epoch guards** — the optimizer stamps each planned fill with the
+  dependency columns' *write epoch* at plan time; a fill whose epoch
+  advanced by execution time (a write landed in the same batch) is
+  bypassed instead of poisoning the cache.
+
+Cached bytes are stored read-only and handed out as copies — the
+``cache-aliasing`` lint rule bans returning the stored buffer itself
+(a consumer mutating it in place would corrupt every later hit).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+#: Canonical cache key — structurally the optimizer's
+#: :data:`repro.optimizer.canonical.Key`.  Aliased here rather than
+#: imported: the optimizer package imports this module (consult/fill
+#: pass), so importing back through its ``__init__`` would be a cycle.
+Key = Tuple[Any, ...]
+
+
+class _Entry:
+    __slots__ = ("key", "index_id", "columns", "data", "num_rows")
+
+    def __init__(
+        self, key: Key, index_id: int, columns: Tuple[str, ...], data: np.ndarray, num_rows: int
+    ) -> None:
+        self.key = key
+        self.index_id = index_id
+        self.columns = columns
+        self.data = data
+        self.num_rows = num_rows
+
+
+class ResultCache:
+    """LRU cache of packed result bitmaps with write-driven invalidation.
+
+    Args:
+        capacity_bytes: Total bytes of cached bitmaps retained; least
+            recently used entries evict beyond it.
+        capacity_entries: Entry-count cap (same LRU policy).
+    """
+
+    def __init__(self, capacity_bytes: int = 8 << 20, capacity_entries: int = 512) -> None:
+        if capacity_bytes <= 0 or capacity_entries <= 0:
+            raise ValueError("cache capacities must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_entries = capacity_entries
+        self._entries: "OrderedDict[Key, _Entry]" = OrderedDict()
+        self._bytes = 0
+        # Write epochs: bumped per invalidation; the optimizer's epoch
+        # guard compares plan-time and fill-time stamps through these.
+        self._index_epochs: Dict[int, int] = {}
+        self._column_epochs: Dict[Tuple[int, str], int] = {}
+        #: Lifetime accounting (end-to-end visible through BatchMetrics
+        #: and the obs counters the frontend emits).
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.bypasses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_entries(self) -> int:
+        """Entries currently cached."""
+        return len(self._entries)
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._bytes
+
+    def entries_for(self, index: object) -> List[Key]:
+        """Keys of the live entries depending on ``index`` (test surface)."""
+        return [key for key, entry in self._entries.items() if entry.index_id == id(index)]
+
+    def live_for(self, index: object) -> List[Tuple[Key, Tuple[str, ...], int, int]]:
+        """Live entries of ``index`` as ``(key, columns, num_rows, nbytes)``.
+
+        The cache-consistency lint (:func:`repro.verify.plan_lint
+        .lint_cache_consistency`) reads this instead of the stored
+        buffers themselves, so certification never aliases cached bytes.
+        """
+        return [
+            (key, entry.columns, entry.num_rows, entry.data.nbytes)
+            for key, entry in self._entries.items()
+            if entry.index_id == id(index)
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict accounting summary (reports and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "bypasses": self.bypasses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "live_entries": self.live_entries,
+            "live_bytes": self.live_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Epoch guard
+    # ------------------------------------------------------------------
+    def write_epoch(self, index: object, columns: Iterable[str]) -> int:
+        """Current write epoch of (index, dependency columns).
+
+        Monotonic: any invalidation touching the index or one of the
+        columns advances it, so equality between a plan-time and a
+        fill-time stamp proves no write landed in between.
+        """
+        index_id = id(index)
+        epoch = self._index_epochs.get(index_id, 0)
+        for column in columns:
+            epoch += self._column_epochs.get((index_id, column), 0)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def get(self, key: Key, index: object, num_rows: int) -> Optional[np.ndarray]:
+        """The cached packed bitmap for ``key``, or ``None``.
+
+        Returns a *copy* of the stored buffer (alias-safety; the stored
+        array is additionally read-only).  A hit whose recorded row count
+        no longer matches the index is dropped defensively — writes
+        should already have invalidated it.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.index_id != id(index):
+            self.misses += 1
+            return None
+        if entry.num_rows != num_rows:
+            self._drop(key)
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.data.copy()
+
+    def put(
+        self,
+        key: Key,
+        index: object,
+        columns: Iterable[str],
+        packed: np.ndarray,
+        num_rows: int,
+    ) -> None:
+        """Cache a finished result bitmap with its dependency columns."""
+        data = np.asarray(packed, dtype=np.uint8).copy()
+        data.setflags(write=False)
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._bytes -= existing.data.nbytes
+        entry = _Entry(key, id(index), tuple(columns), data, num_rows)
+        self._entries[key] = entry
+        self._bytes += data.nbytes
+        self.fills += 1
+        while self._entries and (
+            self._bytes > self.capacity_bytes or len(self._entries) > self.capacity_entries
+        ):
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.data.nbytes
+            self.evictions += 1
+            if evicted_key == key:
+                break
+
+    def _drop(self, key: Key) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.data.nbytes
+
+    # ------------------------------------------------------------------
+    # Write-driven invalidation
+    # ------------------------------------------------------------------
+    def invalidate_columns(self, index: object, columns: Iterable[str]) -> int:
+        """Drop entries of ``index`` depending on any of ``columns``;
+        returns the number dropped.  Bumps the columns' write epochs."""
+        index_id = id(index)
+        stale = set(columns)
+        if not stale:
+            return 0
+        for column in stale:
+            key = (index_id, column)
+            self._column_epochs[key] = self._column_epochs.get(key, 0) + 1
+        dropped = [
+            key
+            for key, entry in self._entries.items()
+            if entry.index_id == index_id and stale.intersection(entry.columns)
+        ]
+        for key in dropped:
+            self._drop(key)
+        self.invalidations += len(dropped)
+        return len(dropped)
+
+    def invalidate_index(self, index: object) -> int:
+        """Drop every entry of ``index`` (row count changed); returns the
+        number dropped.  Bumps the index-level write epoch."""
+        index_id = id(index)
+        self._index_epochs[index_id] = self._index_epochs.get(index_id, 0) + 1
+        dropped = [key for key, entry in self._entries.items() if entry.index_id == index_id]
+        for key in dropped:
+            self._drop(key)
+        self.invalidations += len(dropped)
+        return len(dropped)
+
+    def clear(self) -> None:
+        """Drop everything (keeps lifetime accounting and epochs)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+
+
+def resolve_cache(cache: Union[None, bool, ResultCache]) -> Optional[ResultCache]:
+    """Normalize a ``cache=`` knob: ``True`` builds a default-capacity
+    cache, ``False``/``None`` disables caching, an instance passes
+    through (shareable across frontends of one device)."""
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache() if cache else None
+
+
+__all__ = ["ResultCache", "resolve_cache"]

@@ -36,6 +36,7 @@ routing decisions read the shard loads *at the arrival instant*.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -44,6 +45,7 @@ import numpy as np
 
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.metrics import ClusterMetrics, OperationMetrics, combine_serial
+from repro.cache.result_cache import ResultCache
 from repro.cluster.router import ShardRouter
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.sharding import BitmapIndexShardView
@@ -57,6 +59,8 @@ from repro.service.requests import (
     QueuedRequest,
     ScanRequest,
 )
+from repro.storage.maintenance import MaintenancePolicy, resolve_maintenance
+from repro.storage.requests import WriteRequest, charged_columns, is_write_request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.passes import OptimizerConfig
@@ -110,6 +114,13 @@ class ClusterRecord:
     host_merge_ns: float = 0.0
     start_ns: float = math.nan
     finish_ns: float = math.nan
+    #: Cached bitmaps this write dropped across the shard-local caches
+    #: (set by the coordinator's invalidation step; 0 for reads).
+    cache_invalidations: int = 0
+    #: Rows the coordinator's functional mutation touched (write requests
+    #: only; the authoritative gather value — charge-only scatter parts
+    #: report pre-deduplication estimates).
+    rows_affected: Optional[int] = None
     #: Root :class:`repro.obs.Span` of the record's lifecycle (set only
     #: when the cluster's observability plane is recording); the shard
     #: parts' spans are adopted as its children at scatter time.
@@ -134,6 +145,16 @@ class ClusterRecord:
     def shared_subchains(self) -> int:
         """Sub-chains the parts served from another request's lowering."""
         return sum(p.shared_subchains for p in self.parts)
+
+    @property
+    def cache_hits(self) -> int:
+        """Sub-chains served from the shard-local result caches."""
+        return sum(p.cache_hits for p in self.parts)
+
+    @property
+    def cache_misses(self) -> int:
+        """Shard-local result-cache lookups that missed."""
+        return sum(p.cache_misses for p in self.parts)
 
     @property
     def wait_ns(self) -> float:
@@ -229,6 +250,21 @@ class ClusterFrontend:
             config.  Each shard's batches CSE and split shard-locally
             (over its own shard views and bank lanes); the gather path is
             untouched.  Ignored for pre-built ``shards``.
+        cache: Shard-local result caching: ``True`` gives every shard
+            frontend its *own* :class:`~repro.cache.ResultCache` (entries
+            are keyed by the shard's index views, so caches never share
+            bitmaps across shards); an instance is shared verbatim (the
+            view-scoped keys keep shard entries disjoint even then).
+            Writes invalidate the affected entries on every shard at the
+            coordinator (see :meth:`offer`).  Ignored for pre-built
+            ``shards`` — their planners' caches win.
+        maintenance: Index-maintenance policy for cluster writes: a
+            strategy name or one :class:`~repro.storage
+            .MaintenancePolicy` shared by the coordinator and every shard
+            planner (so hybrid hotness aggregates reads cluster-wide).
+            For pre-built ``shards`` the policy still drives the
+            coordinator's functional write step, but each shard keeps
+            its planner's own policy for charging.
         observe: Observability plane (``repro.obs``): ``True`` records
             one span tree per cluster request (scatter → per-shard parts
             → gather-merge) with every shard's frontend and executor
@@ -256,12 +292,15 @@ class ClusterFrontend:
         shards: Optional[List[ServiceFrontend]] = None,
         merge_ns_per_op: float = DEFAULT_MERGE_NS_PER_OP,
         optimize: Union[bool, "OptimizerConfig"] = False,
+        cache: Union[None, bool, ResultCache] = None,
+        maintenance: Union[None, str, MaintenancePolicy] = None,
         observe: Union[bool, Observer] = False,
     ) -> None:
         if merge_ns_per_op < 0.0:
             raise ValueError("merge_ns_per_op must be non-negative")
         self.merge_ns_per_op = float(merge_ns_per_op)
         self.sanitize = sanitize
+        self.maintenance = resolve_maintenance(maintenance)
         if shards is not None:
             if not shards:
                 raise ValueError("shards must not be empty")
@@ -281,6 +320,8 @@ class ClusterFrontend:
                     functional=functional,
                     shed_low_priority=shed_low_priority,
                     optimize=optimize,
+                    cache=cache,
+                    maintenance=self.maintenance,
                 )
                 for _ in range(num_shards)
             ]
@@ -441,6 +482,8 @@ class ClusterFrontend:
         load = lambda shard: self.shard_load(shard, arrival)  # noqa: E731
         if isinstance(request, BitmapConjunctionRequest):
             plan = self._scatter_conjunction(request, load)
+        elif is_write_request(request):
+            plan = self._scatter_write(request, load)
         elif isinstance(request, ScanRequest):
             plan = [(self.router.route(request.column, load), request)]
         else:
@@ -461,9 +504,84 @@ class ClusterFrontend:
                 for shard, sibling in zip(record.shard_ids[:-1], record.parts[:-1]):
                     self.shards[shard].cancel(sibling)
                 break
+        if record.admitted and is_write_request(request):
+            # The scatter parts are charge-only; the functional mutation
+            # and the shard-cache invalidations commit exactly once, at
+            # the coordinator, only after the all-or-nothing admission
+            # held (a rejected write must not mutate the table).
+            self._commit_write(request, record)
         if self.obs.enabled:
             self._obs_scattered(record)
         return record
+
+    def _scatter_write(
+        self, request: WriteRequest, load
+    ) -> List[Tuple[int, WriteRequest]]:
+        """Split a write into charge-only shard parts by column placement.
+
+        Every shard holding an affected column gets a part restricted to
+        its locally-placed columns (``apply=False`` — the coordinator's
+        :meth:`_commit_write` performs the mutation and the parent-index
+        maintenance once).  A replicated column appears in every
+        replica's part: each replica's device pays to maintain its copy.
+        A write touching no placed column (e.g. an update of an
+        unindexed column) still charges its row traffic on the
+        least-loaded shard.
+        """
+        views = self._views_for(request.index)
+        charged = charged_columns(request)
+        parts: List[Tuple[int, WriteRequest]] = []
+        for shard_id, view in sorted(views.items()):
+            local = tuple(c for c in charged if c in view.columns)
+            if local:
+                parts.append(
+                    (shard_id, dataclasses.replace(request, columns=local, apply=False))
+                )
+        if not parts:
+            parts = [
+                (
+                    self.router.route_any(load),
+                    dataclasses.replace(request, columns=(), apply=False),
+                )
+            ]
+        if self.sanitize:
+            from repro.verify.plan_lint import check_write_scatter  # local: avoid cycle
+
+            # Certify the scatter before any shard sees its part: the
+            # charged columns must all land on some replica, and no part
+            # may charge a column the write does not affect.
+            check_write_scatter(charged, [(s, p.columns or ()) for s, p in parts])
+        return parts
+
+    def _commit_write(self, request: WriteRequest, record: ClusterRecord) -> None:
+        """Apply the mutation + parent maintenance; invalidate shard caches.
+
+        Runs at the write's arrival instant, so every read lowered after
+        it computes from (and caches) post-write planes, while fills
+        planned from pre-write planes are killed by the caches' epoch
+        guards — the coordinator bumps the epochs here.  The returned
+        primitives are discarded: maintenance *cost* is charged by the
+        shard parts, on the devices that hold the columns.
+        """
+        coordinator = dataclasses.replace(request, columns=None, apply=True)
+        outcome = self.maintenance.lower_write(
+            coordinator, self.shards[record.shard_ids[0]].executor
+        )
+        record.rows_affected = outcome.rows_affected
+        views = self._views_for(request.index)
+        dropped = 0
+        for shard_id, shard in enumerate(self.shards):
+            cache = shard.cache
+            view = views.get(shard_id)
+            if cache is None or view is None:
+                continue
+            if outcome.invalidate_all:
+                dropped += cache.invalidate_index(view)
+            else:
+                local = [c for c in outcome.invalidate_columns if c in view.columns]
+                if local:
+                    dropped += cache.invalidate_columns(view, local)
+        record.cache_invalidations = dropped
 
     def _scatter_conjunction(
         self, request: BitmapConjunctionRequest, load
@@ -542,6 +660,22 @@ class ClusterFrontend:
         parts = record.parts
         record.start_ns = min(p.start_ns for p in parts)
         record.finish_ns = max(p.finish_ns for p in parts)
+        if is_write_request(record.request):
+            # A write's parts carry charge-only estimates; the gather
+            # value is the coordinator's authoritative rows-affected
+            # count, and there is no bitmap merge to price.
+            record.value = (
+                record.rows_affected
+                if record.rows_affected is not None
+                else parts[0].value
+            )
+            record.metrics = (
+                parts[0].metrics
+                if len(parts) == 1
+                else combine_serial("cluster_write", (p.metrics for p in parts))
+            )
+            self._obs_gathered(record, tree_depth=0)
+            return
         if len(parts) == 1:
             record.value = parts[0].value
             record.metrics = parts[0].metrics

@@ -18,7 +18,7 @@ operations on the CPU or on Ambit is attributed by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -52,14 +52,13 @@ class BitmapIndex:
     def __init__(self, table: ColumnTable, columns: Iterable[str]) -> None:
         self.table = table
         self.bitmaps: Dict[str, Dict[int, np.ndarray]] = {}
+        #: Columns whose planes are stale relative to the table (lazy
+        #: maintenance).  Reads rebuild through :meth:`_ensure_clean`.
+        self._dirty: Set[str] = set()
+        #: Count of lazy column rebuilds performed (read-side repair).
+        self.rebuilds = 0
         for column in columns:
-            codes = table.column(column)
-            cardinality = table.cardinalities[column]
-            column_bitmaps: Dict[int, np.ndarray] = {}
-            for value in range(cardinality):
-                bits = (codes == value).astype(np.uint8)
-                column_bitmaps[value] = np.packbits(bits, bitorder="little")
-            self.bitmaps[column] = column_bitmaps
+            self.rebuild_column(column)
 
     @property
     def num_rows(self) -> int:
@@ -71,11 +70,109 @@ class BitmapIndex:
         return list(self.bitmaps)
 
     def bitmap(self, column: str, value: int) -> np.ndarray:
-        """Packed bitmap of ``column = value``."""
+        """Packed bitmap of ``column = value``.
+
+        The single read accessor: a lazily-maintained column is rebuilt
+        here, on first read after a write marked it dirty.
+        """
+        self._ensure_clean(column)
         try:
             return self.bitmaps[column][value]
         except KeyError as exc:
             raise KeyError(f"no bitmap for {column!r} = {value}") from exc
+
+    # ------------------------------------------------------------------
+    # Maintenance (the write path; policy lives in repro.storage)
+    # ------------------------------------------------------------------
+    def mark_dirty(self, columns: Iterable[str]) -> None:
+        """Mark columns stale; the next read through :meth:`bitmap`
+        rebuilds them (lazy maintenance)."""
+        for column in columns:
+            if column not in self.bitmaps:
+                raise KeyError(f"column {column!r} is not indexed")
+            self._dirty.add(column)
+
+    def dirty_columns(self) -> List[str]:
+        """Indexed columns currently marked stale (sorted for determinism)."""
+        return sorted(self._dirty)
+
+    def _ensure_clean(self, column: str) -> None:
+        if column in self._dirty:
+            self.rebuild_column(column)
+            self._dirty.discard(column)
+            self.rebuilds += 1
+
+    def rebuild_column(self, column: str) -> None:
+        """Recompute one column's planes from the table (from scratch)."""
+        codes = self.table.column(column)
+        cardinality = self.table.cardinalities[column]
+        column_bitmaps: Dict[int, np.ndarray] = {}
+        for value in range(cardinality):
+            bits = (codes == value).astype(np.uint8)
+            column_bitmaps[value] = np.packbits(bits, bitorder="little")
+        self.bitmaps[column] = column_bitmaps
+
+    def refresh_columns(self, columns: Iterable[str]) -> None:
+        """Eagerly recompute planes for ``columns`` and clear their dirt."""
+        for column in columns:
+            if column not in self.bitmaps:
+                raise KeyError(f"column {column!r} is not indexed")
+            self.rebuild_column(column)
+            self._dirty.discard(column)
+
+    def apply_update(
+        self,
+        column: str,
+        row_ids: np.ndarray,
+        old_codes: np.ndarray,
+        new_codes: np.ndarray,
+    ) -> int:
+        """Incrementally maintain one column's planes after an in-place
+        update (eager maintenance).
+
+        For each distinct old value the affected rows' bits are cleared;
+        for each distinct new value they are set.  Planes for codes the
+        index has never seen are created zero-filled first (dictionary
+        growth).  Returns the number of distinct planes touched — the op
+        count the maintenance policy charges.
+
+        The caller must pass the codes *before* the table mutation
+        (``old_codes``); the column must not be dirty (incremental deltas
+        over stale planes would compound the staleness).
+        """
+        if column in self._dirty:
+            raise ValueError(
+                f"column {column!r} is dirty; rebuild before incremental maintenance"
+            )
+        planes = self.bitmaps[column]
+        packed_len = (self.num_rows + 7) // 8
+        touched = 0
+        # Dictionary growth: materialize zero planes up to the (already
+        # widened) cardinality so the incremental result is structurally
+        # identical to a from-scratch rebuild, not just bit-equal on the
+        # planes both have.
+        for value in range(self.table.cardinalities[column]):
+            if value not in planes:
+                planes[value] = np.zeros(packed_len, dtype=np.uint8)
+        changed = old_codes != new_codes
+        if not np.any(changed):
+            return 0
+        ids = row_ids[changed]
+        olds = old_codes[changed]
+        news = new_codes[changed]
+        for value in np.unique(olds):
+            sel = ids[olds == value]
+            plane = planes[int(value)]
+            np.bitwise_and.at(
+                plane, sel // 8, (~(np.uint8(1) << (sel % 8).astype(np.uint8))) & np.uint8(0xFF)
+            )
+            touched += 1
+        for value in np.unique(news):
+            sel = ids[news == value]
+            plane = planes[int(value)]
+            np.bitwise_or.at(plane, sel // 8, np.uint8(1) << (sel % 8).astype(np.uint8))
+            touched += 1
+        return touched
 
     def storage_bytes(self) -> int:
         """Total bytes of all bitmaps (the index's memory footprint)."""
@@ -186,6 +283,7 @@ class BitmapIndex:
         Used by examples that want to run the index's operations through the
         Ambit engine functionally.
         """
+        self._ensure_clean(column)
         vectors = {}
         for value, packed in self.bitmaps[column].items():
             vector = BulkBitVector(self.num_rows)

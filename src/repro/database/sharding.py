@@ -92,6 +92,21 @@ class BitmapIndexShardView:
         """Names of the shard-local columns."""
         return list(self.columns)
 
+    @property
+    def table(self) -> ColumnTable:
+        """The parent index's table (rebuild charging needs cardinalities)."""
+        return self.index.table
+
+    def dirty_columns(self) -> List[str]:
+        """Shard-local columns whose planes are lazily deferred dirty.
+
+        Maintenance state lives in the *parent* index (cluster writes
+        commit at the coordinator); the view restricts the parent's dirty
+        set to the columns placed here so a shard's planner charges
+        repairs only for reads it actually serves.
+        """
+        return [c for c in self.index.dirty_columns() if c in self.columns]
+
     def bitmap(self, column: str, value: int) -> np.ndarray:
         """Packed bitmap of ``column = value`` for a shard-local column."""
         self._require_local(column)

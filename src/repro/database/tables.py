@@ -10,7 +10,7 @@ skew, which are the variables the query-latency experiment sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,96 @@ class ColumnTable:
     def column_bytes(self, name: str, code_bytes: int = 4) -> int:
         """Size of the column stored as plain fixed-width codes."""
         return self.num_rows * code_bytes
+
+    # ------------------------------------------------------------------
+    # Mutation (the write path; index maintenance lives in repro.storage)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: Mapping[str, Sequence[int]]) -> int:
+        """Append rows given as per-column code sequences.
+
+        Every existing column must be covered, all sequences must have the
+        same length, and codes must be non-negative integers.  Returns the
+        number of rows appended.  Cardinalities widen when a new code
+        exceeds the recorded cardinality (dictionary growth).
+        """
+        if set(rows) != set(self.columns):
+            missing = set(self.columns) - set(rows)
+            extra = set(rows) - set(self.columns)
+            raise ValueError(
+                f"append must cover exactly the table's columns "
+                f"(missing: {sorted(missing)}, unknown: {sorted(extra)})"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        count: Optional[int] = None
+        for name, values in rows.items():
+            array = np.asarray(values)
+            if array.ndim != 1:
+                raise ValueError(f"append values for {name!r} must be one-dimensional")
+            if not np.issubdtype(array.dtype, np.integer):
+                raise TypeError("appended codes must be integers")
+            if array.size and array.min() < 0:
+                raise ValueError("appended codes must be non-negative")
+            if count is None:
+                count = int(array.size)
+            elif int(array.size) != count:
+                raise ValueError("append columns must have equal lengths")
+            arrays[name] = array.astype(np.int64)
+        if not count:
+            return 0
+        for name, array in arrays.items():
+            self.columns[name] = np.concatenate([self.columns[name], array])
+            if array.size:
+                self.cardinalities[name] = max(
+                    self.cardinalities[name], int(array.max()) + 1
+                )
+        self.num_rows += count
+        return count
+
+    def update_rows(self, name: str, row_ids: Sequence[int], values: Sequence[int]) -> int:
+        """Overwrite ``column[row_ids] = values``; returns rows updated.
+
+        Row ids must be unique — a duplicated id would make incremental
+        index maintenance (clear old bit, set new bit) ambiguous — and in
+        range.  Cardinality widens for new codes.
+        """
+        column = self.column(name)
+        ids = np.asarray(row_ids)
+        codes = np.asarray(values)
+        if ids.shape != codes.shape or ids.ndim != 1:
+            raise ValueError("row_ids and values must be one-dimensional and equal-length")
+        if ids.size == 0:
+            return 0
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError("row_ids must be integers")
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise TypeError("updated codes must be integers")
+        if ids.min() < 0 or ids.max() >= self.num_rows:
+            raise ValueError(f"row_ids must be in [0, {self.num_rows})")
+        if np.unique(ids).size != ids.size:
+            raise ValueError("row_ids must be unique within one update")
+        if codes.min() < 0:
+            raise ValueError("updated codes must be non-negative")
+        column[ids] = codes.astype(np.int64)
+        self.cardinalities[name] = max(self.cardinalities[name], int(codes.max()) + 1)
+        return int(ids.size)
+
+    def delete_rows(self, row_ids: Sequence[int]) -> int:
+        """Physically delete rows; later rows renumber down (simulation
+        semantics — there is no tombstone layer).  Returns rows deleted."""
+        ids = np.asarray(row_ids)
+        if ids.ndim != 1:
+            raise ValueError("row_ids must be one-dimensional")
+        if ids.size == 0:
+            return 0
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError("row_ids must be integers")
+        if ids.min() < 0 or ids.max() >= self.num_rows:
+            raise ValueError(f"row_ids must be in [0, {self.num_rows})")
+        ids = np.unique(ids)
+        for name in self.columns:
+            self.columns[name] = np.delete(self.columns[name], ids)
+        self.num_rows -= int(ids.size)
+        return int(ids.size)
 
     def describe(self) -> str:
         """One-line description used by the benchmark output."""

@@ -45,13 +45,14 @@ tests pin bit-exactness against unoptimized lowering on both tiers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.ambit.bitvector import BulkBitVector
 from repro.analysis.metrics import OperationMetrics
 from repro.api.plans import lower_predicate_steps
+from repro.cache.result_cache import ResultCache
 from repro.optimizer.canonical import Key, canonical_key, predicate_key, sort_token
 from repro.service.planner import LoweredGroup
 from repro.service.requests import (
@@ -126,15 +127,33 @@ class BatchOptimizer:
 
     Args:
         config: Optimizer knobs (all passes on by default).
+        result_cache: Cross-batch :class:`~repro.cache.ResultCache` to
+            consult before emitting a sub-chain and to fill (epoch-guarded,
+            after the batch executes) with finished result bitmaps.  None
+            keeps the optimizer batch-scoped, as in PR 7.
     """
 
-    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
         self.config = config or OptimizerConfig()
+        self.result_cache = result_cache
         self._executor: Any = None
         self._cache: Dict[Key, _Node] = {}
+        # Dependency columns per CSE cache key: key -> (id(index), columns).
+        # A write lowered mid-batch invalidates the overlapping entries
+        # (see invalidate_writes) so no later request of the same batch
+        # rides a vector materialized from pre-write planes.
+        self._node_columns: Dict[Key, Tuple[int, FrozenSet[str]]] = {}
         self._steps: Dict[int, ChainStep] = {}
         self._views: List[OptimizedRequestView] = []
         self._assigned: Dict[int, float] = {}
+        # Pending cache fills of the open batch: (key, index, dep columns,
+        # result vector, packed bytes, plan-time write epoch, num_rows).
+        self._fills: List[Tuple[Key, Any, Tuple[str, ...], BulkBitVector, int, int, int]] = []
+        self._fill_keys: Set[Key] = set()
         #: Batches optimized across the optimizer's lifetime.
         self.batches = 0
         #: Device ops eliminated across the optimizer's lifetime.
@@ -149,10 +168,68 @@ class BatchOptimizer:
         """Reset the batch-scoped state; subsequent lowerings share."""
         self._executor = executor
         self._cache = {}
+        self._node_columns = {}
         self._steps = {}
         self._views = []
         self._assigned = {}
+        self._fills = []
+        self._fill_keys = set()
         self.batches += 1
+
+    def commit_fills(self) -> int:
+        """Park the executed batch's finished bitmaps in the result cache.
+
+        Must run *after* the executor ran the batch — the recorded vectors
+        only hold result data post-execution.  Each fill is epoch-guarded:
+        if a write invalidated one of its dependency columns since plan
+        time (a same-batch write lowered after the read), the fill is
+        bypassed rather than caching a stale bitmap.  Returns the number
+        of entries written.
+        """
+        cache = self.result_cache
+        committed = 0
+        if cache is None:
+            self._fills = []
+            return 0
+        for key, index, columns, vector, packed_bytes, epoch, num_rows in self._fills:
+            if cache.write_epoch(index, columns) != epoch:
+                cache.bypasses += 1
+                continue
+            cache.put(key, index, columns, vector.data[:packed_bytes], num_rows)
+            committed += 1
+        self._fills = []
+        return committed
+
+    def invalidate_writes(
+        self,
+        index: Any,
+        columns: Optional[Iterable[str]] = None,
+        invalidate_all: bool = False,
+    ) -> int:
+        """Drop batch-local CSE entries a write just made stale.
+
+        The cross-batch :class:`ResultCache` is protected at two points
+        (invalidation at write lowering, epoch guards at fill commit),
+        but the batch-scoped CSE table would otherwise still hand a
+        request lowered *after* an in-batch write a result vector
+        materialized from pre-write planes.  Called by the planner's
+        write lowering with the write's invalidation footprint; entries
+        whose dependency columns intersect it (all of the index's
+        entries under ``invalidate_all``) are forgotten, so later
+        requests of the batch re-emit them against the mutated planes.
+        Returns the number of entries dropped.
+        """
+        index_id = id(index)
+        written = None if invalidate_all else frozenset(columns or ())
+        stale = [
+            key
+            for key, (owner, deps) in self._node_columns.items()
+            if owner == index_id and (written is None or deps & written)
+        ]
+        for key in stale:
+            self._cache.pop(key, None)
+            del self._node_columns[key]
+        return len(stale)
 
     def lint_batch(self, row_size_bytes: Optional[int] = None) -> Optional[OptimizedBatchReport]:
         """Certify the open batch's DAG (None when nothing was lowered)."""
@@ -196,47 +273,100 @@ class BatchOptimizer:
         )
 
         base: int = executor.stable_offset(index)
-        parts: List[_Node] = []
-        for pkey, column, values in keyed:
-            node = self._cache.get(pkey) if self.config.cse else None
-            if node is None:
-                offset = self._choose_offset(executor, base, rows)
-                node = self._emit_predicate(
-                    pkey, index, column, values, row_size, rows, offset, primitives, own
-                )
-                if self.config.cse:
-                    self._cache[pkey] = node
+        cache_hits = 0
+        cache_misses = 0
+        # Whole-conjunction consult first (unsplit mode): a repeated
+        # request across batches is then one host-memory read — zero
+        # device ops, no per-predicate reassembly.
+        full_key: Optional[Key] = None
+        full_node: Optional[_Node] = None
+        if (
+            self.result_cache is not None
+            and not self.config.split_subchains
+            and len(keyed) > 1
+        ):
+            full_key = canonical_key("and", tuple(item[0] for item in keyed))
+            full_node = self._cached_node(full_key, index, num_rows, row_size)
+            if full_node is not None:
+                cache_hits += 1
             else:
-                shared += 1
-            parts.append(node)
+                cache_misses += 1
 
-        if self.config.split_subchains:
-            finals = parts
-            host_join_ops = max(0, len(parts) - 1)
-            host_merge_ns = (
-                (len(parts) - 1).bit_length() * self.config.merge_ns_per_op
-                if host_join_ops
-                else 0.0
-            )
-        else:
-            # Left-deep AND spine over the canonically ordered parts, with
-            # equal prefixes CSE'd across requests.
-            acc = parts[0]
-            for part in parts[1:]:
-                akey = canonical_key("and", (acc.key, part.key))
-                node = self._cache.get(akey) if self.config.cse else None
-                if node is None:
-                    node = self._emit_and(
-                        akey, acc, part, num_rows, row_size, base, primitives, own
-                    )
-                    if self.config.cse:
-                        self._cache[akey] = node
-                else:
-                    shared += 1
-                acc = node
-            finals = [acc]
+        if full_node is not None:
+            finals = [full_node]
             host_join_ops = 0
             host_merge_ns = 0.0
+        else:
+            parts: List[_Node] = []
+            part_cols: List[FrozenSet[str]] = []
+            for pkey, column, values in keyed:
+                node = self._cache.get(pkey) if self.config.cse else None
+                if node is not None:
+                    shared += 1
+                else:
+                    node = self._cached_node(pkey, index, num_rows, row_size)
+                    if node is not None:
+                        cache_hits += 1
+                        if self.config.cse:
+                            self._cache[pkey] = node
+                            self._node_columns[pkey] = (id(index), frozenset((column,)))
+                    else:
+                        if self.result_cache is not None:
+                            cache_misses += 1
+                        offset = self._choose_offset(executor, base, rows)
+                        node = self._emit_predicate(
+                            pkey, index, column, values, row_size, rows, offset,
+                            primitives, own,
+                        )
+                        if self.config.cse:
+                            self._cache[pkey] = node
+                            self._node_columns[pkey] = (id(index), frozenset((column,)))
+                        if node.producer is not None:
+                            # A multi-value OR chain is worth re-serving
+                            # from host memory; a bare bitmap is already
+                            # a zero-op source.
+                            self._record_fill(
+                                pkey, index, (column,), node.vector, packed_bytes, num_rows
+                            )
+                parts.append(node)
+                part_cols.append(frozenset((column,)))
+
+            if self.config.split_subchains:
+                finals = parts
+                host_join_ops = max(0, len(parts) - 1)
+                host_merge_ns = (
+                    (len(parts) - 1).bit_length() * self.config.merge_ns_per_op
+                    if host_join_ops
+                    else 0.0
+                )
+            else:
+                # Left-deep AND spine over the canonically ordered parts, with
+                # equal prefixes CSE'd across requests.
+                acc = parts[0]
+                acc_cols = part_cols[0]
+                for part, pcols in zip(parts[1:], part_cols[1:]):
+                    akey = canonical_key("and", (acc.key, part.key))
+                    merged = acc_cols | pcols
+                    node = self._cache.get(akey) if self.config.cse else None
+                    if node is None:
+                        node = self._emit_and(
+                            akey, acc, part, num_rows, row_size, base, primitives, own
+                        )
+                        if self.config.cse:
+                            self._cache[akey] = node
+                            self._node_columns[akey] = (id(index), merged)
+                    else:
+                        shared += 1
+                    acc = node
+                    acc_cols = merged
+                finals = [acc]
+                host_join_ops = 0
+                host_merge_ns = 0.0
+            if full_key is not None:
+                all_columns = tuple(sorted({column for column, _v in request.predicates}))
+                self._record_fill(
+                    full_key, index, all_columns, finals[0].vector, packed_bytes, num_rows
+                )
 
         cone: Set[int] = set()
         for node in finals:
@@ -268,9 +398,15 @@ class BatchOptimizer:
         zero_cost = None
         if not own:
             # Everything this request needs was already lowered by the
-            # batch (or it is a single-bitmap identity): zero device ops
-            # run on its account, exactly as the ledger declares.
-            what = "shared" if deps else "identity"
+            # batch, served from the cross-batch result cache, or is a
+            # single-bitmap identity: zero device ops run on its account,
+            # exactly as the ledger declares.
+            if deps:
+                what = "shared"
+            elif cache_hits:
+                what = "cached"
+            else:
+                what = "identity"
             zero_cost = OperationMetrics(
                 name="bitmap_conjunction",
                 latency_ns=0.0,
@@ -288,6 +424,50 @@ class BatchOptimizer:
             host_join_ops=host_join_ops,
             ops_eliminated=ops_eliminated,
             shared_subchains=shared,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-batch result cache (consult / fill)
+    # ------------------------------------------------------------------
+    def _cached_node(
+        self, key: Key, index: Any, num_rows: int, row_size: int
+    ) -> Optional[_Node]:
+        """A source node preloaded from the result cache, or None.
+
+        The cached bytes load into a fresh vector, so the node is an
+        ordinary *source* to the batch DAG: produced by no step, shareable
+        by CSE, lint-clean under the cone-closure check.
+        """
+        cache = self.result_cache
+        if cache is None:
+            return None
+        data = cache.get(key, index, num_rows)
+        if data is None:
+            return None
+        vector = BulkBitVector(num_rows, row_size)
+        vector.data[: data.size] = data
+        return _Node(key=key, vector=vector, cone=(), producer=None)
+
+    def _record_fill(
+        self,
+        key: Key,
+        index: Any,
+        columns: Tuple[str, ...],
+        vector: BulkBitVector,
+        packed_bytes: int,
+        num_rows: int,
+    ) -> None:
+        """Queue a finished sub-chain for the post-execution cache fill,
+        stamped with its dependency columns' plan-time write epoch."""
+        cache = self.result_cache
+        if cache is None or key in self._fill_keys:
+            return
+        self._fill_keys.add(key)
+        self._fills.append(
+            (key, index, columns, vector, packed_bytes,
+             cache.write_epoch(index, columns), num_rows)
         )
 
     # ------------------------------------------------------------------

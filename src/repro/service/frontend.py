@@ -67,14 +67,16 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Unio
 import numpy as np
 
 from repro.analysis.metrics import LaneMetrics, QueueMetrics, summarize_queue_records
+from repro.cache.result_cache import ResultCache, resolve_cache
 from repro.obs import Observer, resolve_observe
 from repro.service.executor import BatchExecutor
 from repro.service.lanes import HOST_LANE
-from repro.service.planner import BatchPlanner, BatchPolicy
+from repro.service.planner import BatchPlanner, BatchPolicy, LoweredGroup
 from repro.service.requests import BatchResult, FrontendRequest, QueuedRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.passes import OptimizerConfig
+    from repro.storage.maintenance import MaintenancePolicy
 
 
 @dataclass
@@ -225,6 +227,19 @@ class ServiceFrontend:
             :class:`~repro.optimizer.OptimizerConfig`, or an explicit
             config.  Ignored when an explicit ``planner`` is passed
             (configure that planner directly).
+        cache: Cross-batch result cache (``repro.cache``): ``True``
+            builds a default :class:`~repro.cache.ResultCache`, an
+            instance is adopted as-is (shareable across frontends over
+            one device), ``False``/``None`` disables caching.  Enabling
+            the cache auto-enables the batch plan optimizer (consults
+            and fills ride its canonical-key pass).  Ignored when an
+            explicit ``planner`` is passed — the planner's own
+            ``result_cache`` wins.
+        maintenance: Index-maintenance policy for write requests
+            (``repro.storage``): a strategy name (``"eager"``,
+            ``"lazy"``, ``"hybrid"``) or a configured
+            :class:`~repro.storage.MaintenancePolicy`; ``None`` means
+            eager.  Ignored when an explicit ``planner`` is passed.
         observe: Observability plane (``repro.obs``): ``True`` records a
             span tree per request (admission → queue → service) plus
             frontend counters/gauges/histograms, and pushes the plane
@@ -246,12 +261,25 @@ class ServiceFrontend:
         functional: bool = False,
         shed_low_priority: bool = False,
         optimize: Union[bool, "OptimizerConfig"] = False,
+        cache: Union[None, bool, ResultCache] = None,
+        maintenance: Union[None, str, "MaintenancePolicy"] = None,
         observe: Union[bool, Observer] = False,
     ) -> None:
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
         self.executor = executor or BatchExecutor()
-        self.planner = planner or BatchPlanner(self.executor, policy, optimize=optimize)
+        if planner is not None:
+            self.planner = planner
+            self.cache = planner.result_cache
+        else:
+            self.cache = resolve_cache(cache)
+            self.planner = BatchPlanner(
+                self.executor,
+                policy,
+                optimize=optimize,
+                maintenance=maintenance,
+                result_cache=self.cache,
+            )
         self.max_queue_depth = max_queue_depth
         self.max_backlog_ns = max_backlog_ns
         self.functional = functional
@@ -281,6 +309,10 @@ class ServiceFrontend:
         """Adopt an observability plane and push it to the executor."""
         self.obs = obs
         self.executor.bind_observer(obs)
+        # The maintenance policy's hotness counters ride the same plane
+        # (``storage.reads.<column>``) so hybrid strategy decisions are
+        # inspectable wherever the frontend's metrics land.
+        self.planner.maintenance.bind_observer(obs)
 
     def _obs_offered(self, queued: QueuedRequest) -> None:
         """Open the request's root span at arrival."""
@@ -349,6 +381,8 @@ class ServiceFrontend:
             ops_eliminated=queued.ops_eliminated,
             shared_subchains=queued.shared_subchains,
             host_merge_ns=queued.host_merge_ns,
+            cache_hits=queued.cache_hits,
+            cache_misses=queued.cache_misses,
         )
         span.end(queued.finish_ns).set(
             status="completed", deadline_missed=queued.deadline_missed
@@ -359,6 +393,45 @@ class ServiceFrontend:
             registry.counter("frontend.deadline_misses").inc()
         registry.histogram("frontend.wait_ns").observe(queued.wait_ns)
         registry.histogram("frontend.sojourn_ns").observe(queued.sojourn_ns)
+
+    def _obs_maintenance(self, queued: QueuedRequest, group: LoweredGroup) -> None:
+        """Attach a ``maintenance`` child span for index-maintenance work.
+
+        Write requests get one carrying the policy's strategy decisions
+        (per-column eager/lazy split, planes charged, invalidations);
+        read requests that paid for deferred rebuilds get one naming the
+        columns rebuilt into their service window.
+        """
+        outcome = group.write_outcome
+        if outcome is not None:
+            request = outcome.request
+            span = queued.trace.child(
+                "maintenance",
+                category="storage",
+                start_ns=queued.start_ns,
+                end_ns=queued.finish_ns,
+            )
+            span.set(
+                kind=request.kind,
+                strategy=self.planner.maintenance.strategy,
+                columns=",".join(
+                    f"{col}={strat}" for col, strat in sorted(outcome.strategies.items())
+                ),
+                rows_affected=outcome.rows_affected,
+                planes_charged=outcome.planes_charged,
+                cache_invalidations=queued.cache_invalidations,
+            )
+        elif group.rebuild_columns:
+            queued.trace.child(
+                "maintenance",
+                category="storage",
+                start_ns=queued.start_ns,
+                end_ns=queued.finish_ns,
+            ).set(
+                kind="rebuild",
+                strategy=self.planner.maintenance.strategy,
+                columns=",".join(group.rebuild_columns),
+            )
 
     # ------------------------------------------------------------------
     # Admission
@@ -679,6 +752,12 @@ class ServiceFrontend:
         batch = self.executor.run(
             primitives, functional=self.functional, release_ns=batch_start
         )
+        # Park the batch's finished bitmaps in the result cache.  This
+        # must happen *after* the run (the fill buffers are the lowered
+        # chains' output vectors) and rides the optimizer's epoch guard:
+        # a fill whose dependency columns took a write since plan time is
+        # bypassed instead of caching a stale bitmap.
+        self.planner.commit_cache_fills()
         for group in groups:
             queued = group.queued
             queued.batch_index = batch_index
@@ -707,14 +786,29 @@ class ServiceFrontend:
             queued.host_merge_ns = group.host_merge_ns
             queued.ops_eliminated = group.ops_eliminated
             queued.shared_subchains = group.shared_subchains
+            queued.cache_hits = group.cache_hits
+            queued.cache_misses = group.cache_misses
+            queued.cache_invalidations = group.cache_invalidations
             if observe and queued.trace is not None:
                 self._obs_served(queued, batch_index)
+                self._obs_maintenance(queued, group)
         batch.metrics.ops_eliminated = sum(g.ops_eliminated for g in groups)
         batch.metrics.shared_subchains = sum(g.shared_subchains for g in groups)
+        batch.metrics.cache_hits = sum(g.cache_hits for g in groups)
+        batch.metrics.cache_misses = sum(g.cache_misses for g in groups)
+        batch.metrics.cache_invalidations = sum(g.cache_invalidations for g in groups)
         if observe:
             registry = self.obs.metrics
             registry.gauge("frontend.queue_depth").set(float(len(self._heap)))
             registry.gauge("frontend.backlog_ns").set(self.backlog_ns)
+            if batch.metrics.cache_hits:
+                registry.counter("cache.hit").inc(batch.metrics.cache_hits)
+            if batch.metrics.cache_misses:
+                registry.counter("cache.miss").inc(batch.metrics.cache_misses)
+            if batch.metrics.cache_invalidations:
+                registry.counter("cache.invalidations").inc(
+                    batch.metrics.cache_invalidations
+                )
         if not pipelined:
             self.clock_ns = batch_start + batch.metrics.latency_ns
         self.busy_ns += batch.metrics.busy_ns

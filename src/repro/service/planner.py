@@ -38,8 +38,11 @@ from repro.service.requests import (
     ScanRequest,
     ServiceRequest,
 )
+from repro.storage.maintenance import MaintenancePolicy, WriteOutcome, resolve_maintenance
+from repro.storage.requests import is_write_request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.result_cache import ResultCache
     from repro.optimizer.passes import BatchOptimizer, OptimizerConfig
 
 
@@ -99,6 +102,14 @@ class LoweredGroup:
             request's unoptimized plan total.
         shared_subchains: Sub-chains this request consumed from (or
             shared with) another request of the batch.
+        cache_hits: Sub-chains (or whole conjunctions) served from the
+            cross-batch result cache.
+        cache_misses: Result-cache lookups that missed.
+        cache_invalidations: Cached bitmaps this (write) request dropped.
+        write_outcome: The maintenance outcome of a lowered write request
+            (strategy attribution, charged planes; None for reads).
+        rebuild_columns: Lazily-maintained columns this read repaired
+            (their rebuild charge rides in ``indices``).
     """
 
     queued: QueuedRequest
@@ -110,6 +121,11 @@ class LoweredGroup:
     host_join_ops: int = 0
     ops_eliminated: int = 0
     shared_subchains: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    write_outcome: Optional[WriteOutcome] = None
+    rebuild_columns: Tuple[str, ...] = ()
 
 
 class BatchPlanner:
@@ -124,6 +140,13 @@ class BatchPlanner:
             sub-chain splitting on), or an explicit config.  ``False``
             (the default) lowers every conjunction in isolation, exactly
             as before the optimizer existed.
+        maintenance: :class:`~repro.storage.MaintenancePolicy` (or a
+            strategy name) governing how writes keep the bitmap planes
+            consistent.  Defaults to eager — always-consistent planes.
+        result_cache: Cross-batch :class:`~repro.cache.ResultCache` the
+            optimizer consults and fills, and writes invalidate through
+            this planner.  Requires the optimizer (the consult pass
+            lives there); the frontend turns it on when a cache is set.
     """
 
     def __init__(
@@ -131,18 +154,29 @@ class BatchPlanner:
         executor: BatchExecutor,
         policy: Optional[BatchPolicy] = None,
         optimize: Union[bool, "OptimizerConfig"] = False,
+        maintenance: Union[None, str, MaintenancePolicy] = None,
+        result_cache: Optional["ResultCache"] = None,
     ) -> None:
         self.executor = executor
         self.policy = policy or BatchPolicy()
+        self.maintenance = resolve_maintenance(maintenance)
+        self.result_cache = result_cache
         self.optimizer: Optional["BatchOptimizer"] = None
-        if optimize:
+        if optimize or result_cache is not None:
             from repro.optimizer.passes import (  # local: avoid cycle
                 BatchOptimizer,
                 OptimizerConfig,
             )
 
-            config = optimize if isinstance(optimize, OptimizerConfig) else None
-            self.optimizer = BatchOptimizer(config)
+            if isinstance(optimize, OptimizerConfig):
+                config = optimize
+            elif result_cache is not None and not optimize:
+                # Cache-driven auto-enable: unsplit lowering, so whole
+                # conjunctions are cacheable under one canonical key.
+                config = OptimizerConfig(split_subchains=False)
+            else:
+                config = None
+            self.optimizer = BatchOptimizer(config, result_cache=result_cache)
         #: High-level requests lowered across the planner's lifetime.
         self.lowered_requests = 0
 
@@ -153,6 +187,8 @@ class BatchPlanner:
         """Sequential-execution latency of any frontend request."""
         if isinstance(request, BitmapConjunctionRequest):
             return self._conjunction_latency_ns(request)
+        if is_write_request(request):
+            return self.maintenance.modeled_write_ns(request, self.executor)
         return self.executor.modeled_latency_ns(request)
 
     def _conjunction_latency_ns(self, request: BitmapConjunctionRequest) -> float:
@@ -185,6 +221,8 @@ class BatchPlanner:
             return self.executor.span_banks(
                 self._conjunction_rows(request), self.executor.stable_offset(request.index)
             )
+        if is_write_request(request):
+            return self.maintenance.modeled_write_banks(request, self.executor)
         return self.executor.modeled_banks(request)
 
     # ------------------------------------------------------------------
@@ -293,11 +331,23 @@ class BatchPlanner:
         for queued in batch:
             request = queued.request
             if isinstance(request, BitmapConjunctionRequest):
+                # Hotness + lazy-repair bookkeeping must precede the
+                # lowering: pulling the bitmaps cleans dirty columns as a
+                # side effect, so the rebuild charge is decided first.
+                columns = [column for column, _values in request.predicates]
+                self.maintenance.note_read(columns)
+                pending = self.maintenance.pending_rebuilds(request.index, columns)
                 if self.optimizer is not None:
                     self.lowered_requests += 1
-                    groups.append(self.optimizer.lower_conjunction(queued, primitives))
+                    group = self.optimizer.lower_conjunction(queued, primitives)
                 else:
-                    groups.append(self._lower_conjunction(queued, primitives))
+                    group = self._lower_conjunction(queued, primitives)
+                if pending:
+                    self._charge_rebuilds(group, pending, primitives)
+                groups.append(group)
+            elif is_write_request(request):
+                self.lowered_requests += 1
+                groups.append(self._lower_write(queued, primitives))
             elif isinstance(request, (BulkOpRequest, ScanRequest, CopyRequest)):
                 primitives.append(request)
                 groups.append(
@@ -314,6 +364,100 @@ class BatchPlanner:
                 row_size_bytes=self.executor.engine.device.geometry.row_size_bytes
             )
         return primitives, groups
+
+    def commit_cache_fills(self) -> int:
+        """Park the executed batch's finished bitmaps in the result cache
+        (no-op without one).  The frontend calls this *after* the
+        executor ran the batch — the step vectors hold result data only
+        post-execution."""
+        if self.optimizer is None:
+            return 0
+        return self.optimizer.commit_fills()
+
+    def _charge_rebuilds(
+        self, group: LoweredGroup, columns: List[str], primitives: List[ServiceRequest]
+    ) -> None:
+        """Charge lazily-deferred column rebuilds into the reading group.
+
+        The read that repaired a dirty column pays for the repair: one
+        bulk op per rebuilt plane plus the column-scan traffic, appended
+        to the group's own primitives (they execute on the index's lanes
+        and extend the group's finish time).  The optimizer's batch lint
+        never sees these — they are charge accounting, not DAG steps.
+        """
+        for column in columns:
+            for primitive in self.maintenance.rebuild_charge(
+                group.queued.request.index, column, self.executor
+            ):
+                primitives.append(primitive)
+                group.indices.append(len(primitives) - 1)
+        group.rebuild_columns = tuple(columns)
+
+    def _lower_write(
+        self, queued: QueuedRequest, primitives: List[ServiceRequest]
+    ) -> LoweredGroup:
+        """Lower one write: apply the mutation *now* (lowering runs in
+        queue order, so reads lowered later in the batch see the post-
+        write planes — sequential consistency within a batch), invalidate
+        the result cache, and emit the maintenance charge."""
+        request = queued.request
+        outcome = self.maintenance.lower_write(request, self.executor)
+        invalidated = 0
+        if self.result_cache is not None:
+            if outcome.invalidate_all:
+                invalidated = self.result_cache.invalidate_index(request.index)
+            else:
+                invalidated = self.result_cache.invalidate_columns(
+                    request.index, outcome.invalidate_columns
+                )
+        if self.optimizer is not None:
+            # The batch-local CSE table shares result vectors too: drop
+            # the entries this write's footprint covers so reads lowered
+            # later in the batch re-emit from the mutated planes.
+            self.optimizer.invalidate_writes(
+                request.index,
+                columns=outcome.invalidate_columns,
+                invalidate_all=outcome.invalidate_all,
+            )
+        if getattr(self.executor, "sanitize", False):
+            from repro.verify.plan_lint import (  # local: avoid cycle
+                lint_cache_consistency,
+                lint_write_plan,
+            )
+
+            # Certify the maintenance charge against the declared outcome,
+            # then (cache on) that no stale entry survived the invalidation.
+            lint_write_plan(outcome)
+            if self.result_cache is not None:
+                lint_cache_consistency(self.result_cache, request.index)
+        indices: List[int] = []
+        for primitive in outcome.primitives:
+            primitives.append(primitive)
+            indices.append(len(primitives) - 1)
+        rows_affected = outcome.rows_affected
+
+        def finalize(results: List[RequestResult]) -> Any:
+            return rows_affected
+
+        zero_cost = None
+        if not indices:
+            # Pure-lazy write of zero rows (or all maintenance deferred
+            # and no traffic): nothing runs now, nothing is charged now.
+            zero_cost = OperationMetrics(
+                name=f"storage_{request.kind}",
+                latency_ns=0.0,
+                energy_j=0.0,
+                bytes_produced=0,
+                notes="deferred maintenance",
+            )
+        return LoweredGroup(
+            queued=queued,
+            indices=indices,
+            finalize=finalize,
+            zero_cost_metrics=zero_cost,
+            cache_invalidations=invalidated,
+            write_outcome=outcome,
+        )
 
     def _lower_conjunction(
         self, queued: QueuedRequest, primitives: List[ServiceRequest]
@@ -380,6 +524,10 @@ class BatchPlanner:
             return group.zero_cost_metrics
         if len(results) == 1:
             return results[0].metrics
-        combined = combine_serial("bitmap_conjunction", (r.metrics for r in results))
+        if group.write_outcome is not None:
+            name = f"storage_{group.write_outcome.request.kind}"
+        else:
+            name = "bitmap_conjunction"
+        combined = combine_serial(name, (r.metrics for r in results))
         combined.notes = f"{len(results)} lowered bulk ops"
         return combined

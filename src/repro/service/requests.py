@@ -203,6 +203,13 @@ class QueuedRequest:
     #: Sub-chains of this request served from another request's (or an
     #: earlier duplicate's) lowered output instead of being re-lowered.
     shared_subchains: int = 0
+    #: Sub-chains (or whole conjunctions) this request served from the
+    #: cross-batch result cache instead of re-running bank work.
+    cache_hits: int = 0
+    #: Cache lookups of this request that missed (0 with caching off).
+    cache_misses: int = 0
+    #: Cached bitmaps a write request invalidated (write requests only).
+    cache_invalidations: int = 0
     #: Root :class:`repro.obs.Span` of this request's lifecycle — set by
     #: the frontend only when its observability plane is recording
     #: (``observe=True``); None under the default no-op plane.

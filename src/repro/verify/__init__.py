@@ -10,6 +10,7 @@ source text, not runtime objects.
 
 from repro.verify.errors import (
     AccountingError,
+    CacheConsistencyError,
     CausalityError,
     ChainCycleError,
     CostModelMismatchError,
@@ -20,15 +21,19 @@ from repro.verify.errors import (
     ScheduleVerifyError,
     VerifyError,
     WidthMismatchError,
+    WritePlanError,
 )
 from repro.verify.plan_lint import (
     ChainLintReport,
     OptimizedBatchReport,
     OptimizedRequestView,
     check_scatter_coverage,
+    check_write_scatter,
+    lint_cache_consistency,
     lint_chain,
     lint_lowered_conjunction,
     lint_optimized_batch,
+    lint_write_plan,
 )
 from repro.verify.schedule_check import (
     ScheduleCheckReport,
@@ -38,6 +43,7 @@ from repro.verify.schedule_check import (
 
 __all__ = [
     "AccountingError",
+    "CacheConsistencyError",
     "CausalityError",
     "ChainCycleError",
     "ChainLintReport",
@@ -53,9 +59,13 @@ __all__ = [
     "ScheduleVerifyError",
     "VerifyError",
     "WidthMismatchError",
+    "WritePlanError",
     "check_scatter_coverage",
     "check_schedule",
+    "check_write_scatter",
+    "lint_cache_consistency",
     "lint_chain",
     "lint_lowered_conjunction",
     "lint_optimized_batch",
+    "lint_write_plan",
 ]

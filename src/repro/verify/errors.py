@@ -74,6 +74,23 @@ class ScatterCoverageError(PlanVerifyError):
     rule = "scatter-coverage"
 
 
+class WritePlanError(PlanVerifyError):
+    """A lowered write's charged maintenance disagrees with its declared
+    outcome: plane-op count vs planes charged, charged columns outside the
+    index, a lazy column charged device ops, or a scattered write whose
+    parts drop or invent charged columns."""
+
+    rule = "write-plan"
+
+
+class CacheConsistencyError(PlanVerifyError):
+    """A live result-cache entry violates a consistency invariant: it
+    depends on a column whose planes are dirty, records a row count the
+    index no longer has, or stores a bitmap of the wrong packed length."""
+
+    rule = "cache-consistency"
+
+
 # ----------------------------------------------------------------------
 # Schedule defects (repro.verify.schedule_check)
 # ----------------------------------------------------------------------

@@ -37,11 +37,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ambit.bitvector import BulkBitVector
 from repro.database.bitmap_index import BitmapPlan
 from repro.verify.errors import (
+    CacheConsistencyError,
     ChainCycleError,
     CostModelMismatchError,
     DanglingOperandError,
     ScatterCoverageError,
     WidthMismatchError,
+    WritePlanError,
 )
 
 #: Bulk bitwise ops a lowered step may carry (the engine's op set).
@@ -589,3 +591,147 @@ def check_scatter_coverage(
                 "duplicated": duplicated,
             },
         )
+
+
+def check_write_scatter(
+    charged: Sequence[str],
+    parts: Sequence[Tuple[int, Sequence[str]]],
+) -> None:
+    """Certify a scattered write's column coverage before any shard runs.
+
+    Unlike read scatter (exactly-once), a *replicated* column legitimately
+    appears in several parts — each replica's device pays to maintain its
+    copy.  The invariants are: every charged column lands on at least one
+    shard, and no part charges a column the write does not affect.
+
+    Args:
+        charged: The columns the cluster-level write is charged for.
+        parts: ``(shard_id, part_columns)`` pairs, one per scatter part.
+
+    Raises:
+        WritePlanError: A charged column is dropped, or a part charges an
+            unaffected column.
+    """
+    want = set(charged)
+    covered: set = set()
+    for shard_id, columns in parts:
+        extra = sorted(set(columns) - want)
+        if extra:
+            raise WritePlanError(
+                f"shard {shard_id}'s write part charges columns {extra} "
+                "the write does not affect",
+                details={"shard": shard_id, "extra": extra},
+            )
+        covered.update(columns)
+    missing = sorted(want - covered)
+    if missing:
+        raise WritePlanError(
+            f"scattered write drops charged columns {missing} — no shard "
+            "would pay their maintenance",
+            details={"missing": missing},
+        )
+
+
+def lint_write_plan(outcome) -> None:
+    """Certify one lowered write's charge against its declared outcome.
+
+    ``outcome`` is the :class:`~repro.storage.maintenance.WriteOutcome`
+    the planner got back from
+    :meth:`~repro.storage.maintenance.MaintenancePolicy.lower_write`; the
+    checks pin the ledger the write path reports against the primitives
+    it actually charges:
+
+    * the charged columns are a subset of the index's indexed columns;
+    * every resolved strategy is ``"eager"`` or ``"lazy"``;
+    * the number of charged bulk ops equals the declared
+      ``planes_charged`` (and is zero when every column went lazy);
+    * the row-traffic copy is present exactly when ``bytes_moved`` is
+      positive, and for exactly that many bytes;
+    * appends/deletes declare index-wide invalidation, updates do not.
+
+    Raises:
+        WritePlanError: Any of the invariants fails.
+    """
+    from repro.service.requests import BulkOpRequest, CopyRequest  # local: avoid cycle
+
+    request = outcome.request
+    indexed = set(request.index.indexed_columns())
+    stray = sorted(set(outcome.strategies) - indexed)
+    if stray:
+        raise WritePlanError(
+            f"write charges maintenance for non-indexed columns {stray}",
+            details={"columns": stray},
+        )
+    bad = {c: s for c, s in outcome.strategies.items() if s not in ("eager", "lazy")}
+    if bad:
+        raise WritePlanError(
+            f"write resolved unknown strategies {bad}",
+            details={"strategies": bad},
+        )
+    plane_ops = sum(1 for p in outcome.primitives if isinstance(p, BulkOpRequest))
+    if plane_ops != outcome.planes_charged:
+        raise WritePlanError(
+            f"write charges {plane_ops} plane ops but declares "
+            f"{outcome.planes_charged} planes",
+            details={"charged": plane_ops, "declared": outcome.planes_charged},
+        )
+    if plane_ops and all(s == "lazy" for s in outcome.strategies.values()):
+        raise WritePlanError(
+            f"lazy-only write still charges {plane_ops} plane ops",
+            details={"charged": plane_ops},
+        )
+    copies = [p for p in outcome.primitives if isinstance(p, CopyRequest)]
+    copy_bytes = sum(p.num_bytes for p in copies)
+    if (outcome.bytes_moved > 0) != bool(copies) or copy_bytes != outcome.bytes_moved:
+        raise WritePlanError(
+            f"write declares {outcome.bytes_moved} bytes of row traffic but "
+            f"charges {copy_bytes} across {len(copies)} copies",
+            details={"declared": outcome.bytes_moved, "charged": copy_bytes},
+        )
+    expect_all = request.kind in ("append", "delete")
+    if outcome.invalidate_all != expect_all:
+        raise WritePlanError(
+            f"{request.kind} declares invalidate_all={outcome.invalidate_all} "
+            f"(expected {expect_all})",
+            details={"kind": request.kind, "declared": outcome.invalidate_all},
+        )
+
+
+def lint_cache_consistency(cache, index) -> None:
+    """Certify every live cache entry of ``index`` against the index.
+
+    Run by the planner after a write's invalidation (and directly by
+    tests): surviving entries must not depend on a dirty column, must
+    record the index's current row count, and must store exactly the
+    packed byte length that row count implies — any of these failing
+    means a stale bitmap could be served as a hit.
+
+    Args:
+        cache: The :class:`~repro.cache.ResultCache` to certify.
+        index: The index (or shard view) whose entries to check.
+
+    Raises:
+        CacheConsistencyError: A live entry violates an invariant.
+    """
+    dirty = set(index.dirty_columns()) if hasattr(index, "dirty_columns") else set()
+    num_rows = index.num_rows
+    packed = (num_rows + 7) // 8
+    for key, columns, entry_rows, nbytes in cache.live_for(index):
+        stale = sorted(dirty.intersection(columns))
+        if stale:
+            raise CacheConsistencyError(
+                f"live cache entry {key!r} depends on dirty columns {stale}",
+                details={"key": repr(key), "columns": stale},
+            )
+        if entry_rows != num_rows:
+            raise CacheConsistencyError(
+                f"live cache entry {key!r} records {entry_rows} rows but the "
+                f"index has {num_rows}",
+                details={"key": repr(key), "entry": entry_rows, "index": num_rows},
+            )
+        if nbytes != (entry_rows + 7) // 8 or nbytes != packed:
+            raise CacheConsistencyError(
+                f"live cache entry {key!r} stores {nbytes} bytes, expected "
+                f"{packed} packed bytes for {num_rows} rows",
+                details={"key": repr(key), "nbytes": nbytes, "expected": packed},
+            )

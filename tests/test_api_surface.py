@@ -11,9 +11,11 @@ import repro.api as api
 
 #: The pinned public surface.  Keep sorted; update deliberately.
 EXPECTED_EXPORTS = [
+    "AppendSpec",
     "Backend",
     "ClusterDetails",
     "ConjunctionSpec",
+    "DeleteSpec",
     "Future",
     "HostBackend",
     "HostDetails",
@@ -26,6 +28,8 @@ EXPECTED_EXPORTS = [
     "ScanSpec",
     "ServiceDetails",
     "SessionReport",
+    "UpdateSpec",
+    "WriteSpec",
     "lower_conjunction_steps",
     "range_count_spec",
     "spec_for_request",
@@ -48,6 +52,9 @@ def test_session_surface_is_stable():
         "scan",
         "range_count",
         "conjunction",
+        "append",
+        "update",
+        "delete",
         "submit",
         "submit_stream",
         "advance_to",

@@ -25,6 +25,12 @@ Four rules, each guarding an invariant the simulator's design depends on
   there would silently desynchronise traces from the simulation (and is
   the one place ``datetime`` imports are tempting, for "timestamps").
   Fires *instead of* the generic ``wall-clock`` rule on those files.
+* ``cache-aliasing`` — a public method of ``repro.cache`` returning a
+  stored buffer (``return something.data`` or ``return something[...]``)
+  instead of a copy.  The result cache hands bitmaps to consumers that
+  may mutate them in place; an aliased return would corrupt every later
+  hit of that entry.  ``.copy()`` calls (and any other call result)
+  pass.
 
 A finding is suppressed by a ``# lint: allow[<rule>]`` comment on its
 line.  Run locally with::
@@ -45,7 +51,14 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 #: Rules this linter knows (the only rule names a waiver may reference).
-RULES = ("mutable-default", "wall-clock", "frozen-mutation", "export-drift", "obs-wall-clock")
+RULES = (
+    "mutable-default",
+    "wall-clock",
+    "frozen-mutation",
+    "export-drift",
+    "obs-wall-clock",
+    "cache-aliasing",
+)
 
 _WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z-]+)\]")
 
@@ -130,6 +143,9 @@ class _ModuleLinter(ast.NodeVisitor):
         # Observability modules get the stricter clock rule (obs-wall-clock
         # fires there instead of the generic wall-clock rule).
         self._in_obs = "repro/obs" in path.replace("\\", "/")
+        # Cache modules get the aliasing rule on public-method returns.
+        self._in_cache = "repro/cache" in path.replace("\\", "/")
+        self._function_stack: List[str] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -216,6 +232,36 @@ class _ModuleLinter(ast.NodeVisitor):
         name = _decorator_name(node)
         if name.endswith((".now", ".utcnow")) and "datetime" in name:
             self._add(node, "wall-clock", f"call of {name}: wall-clock reads are unreproducible")
+        self.generic_visit(node)
+
+    # -- cache-aliasing ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if (
+            self._in_cache
+            and self._function_stack
+            and not self._function_stack[-1].startswith("_")
+            and node.value is not None
+        ):
+            if isinstance(node.value, ast.Subscript) or (
+                isinstance(node.value, ast.Attribute) and node.value.attr == "data"
+            ):
+                self._add(
+                    node,
+                    "cache-aliasing",
+                    "public cache method returns a stored buffer directly; "
+                    "return a .copy() so a consumer's in-place mutation "
+                    "cannot corrupt later hits",
+                )
         self.generic_visit(node)
 
     # -- frozen-mutation -----------------------------------------------

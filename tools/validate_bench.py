@@ -191,6 +191,54 @@ _OPTIMIZER_MODE: JsonSchema = {
     },
 }
 
+#: Per-mode block of the mixed read/write benchmark (cache + maintenance).
+_WRITES_MODE: JsonSchema = {
+    "type": "object",
+    "required": [
+        "completed",
+        "rejected",
+        "batches",
+        "throughput_gb_s",
+        "sojourn_p50_us",
+        "sojourn_p99_us",
+        "makespan_ms",
+        "busy_ms",
+        "energy_j",
+        "writes",
+        "write_latency_us",
+        "write_energy_j",
+        "rebuilds",
+        "cache_hits",
+        "cache_misses",
+        "cache_invalidations",
+        "cache_fills",
+        "cache_bypasses",
+        "cache_evictions",
+    ],
+    "properties": {
+        "completed": _COUNT,
+        "rejected": _COUNT,
+        "batches": _COUNT,
+        "throughput_gb_s": _NS,
+        "sojourn_p50_us": _NS,
+        "sojourn_p99_us": _NS,
+        "makespan_ms": _NS,
+        "busy_ms": _NS,
+        "energy_j": _NS,
+        "writes": _COUNT,
+        "write_latency_us": _NS,
+        "write_energy_j": _NS,
+        "rebuilds": _COUNT,
+        "cache_hits": _COUNT,
+        "cache_misses": _COUNT,
+        "cache_invalidations": _COUNT,
+        "cache_fills": _COUNT,
+        "cache_bypasses": _COUNT,
+        "cache_evictions": _COUNT,
+    },
+    "additionalProperties": False,
+}
+
 #: One Chrome/Perfetto trace event.  ``X`` (complete) events carry ``dur``;
 #: ``M`` (metadata) events carry only ``args``; all share the envelope.
 _TRACE_EVENT: JsonSchema = {
@@ -283,6 +331,28 @@ SCHEMAS: Dict[str, JsonSchema] = {
             "optimized": _OPTIMIZER_MODE,
             "optimized_vs_baseline_throughput": {"type": "number", "minimum": 0},
             "duplication_rate": {"type": "number", "minimum": 0},
+        },
+        "additionalProperties": False,
+    },
+    "writes": {
+        "type": "object",
+        "required": [
+            "eager_nocache",
+            "eager",
+            "lazy",
+            "hybrid",
+            "cache_on_vs_off_throughput",
+            "duplication_rate",
+            "write_fraction",
+        ],
+        "properties": {
+            "eager_nocache": _WRITES_MODE,
+            "eager": _WRITES_MODE,
+            "lazy": _WRITES_MODE,
+            "hybrid": _WRITES_MODE,
+            "cache_on_vs_off_throughput": {"type": "number", "minimum": 0},
+            "duplication_rate": {"type": "number", "minimum": 0},
+            "write_fraction": {"type": "number", "minimum": 0},
         },
         "additionalProperties": False,
     },
