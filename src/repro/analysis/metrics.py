@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass
@@ -446,6 +446,18 @@ class ClusterMetrics:
         cache_misses: Shard-local result-cache lookups that missed.
         cache_invalidations: Cached bitmaps dropped by completed writes
             across the shards.
+        shard_failures / shard_revivals / shards_joined / shards_retired:
+            Pool lifecycle events during the run (fault injection plus
+            elastic controller actions); all zero for a healthy fixed
+            pool.
+        failovers: Queued shard parts migrated off a failed or draining
+            shard onto survivors.
+        failover_failures: Requests terminally failed because no routable
+            replica could take their work (degraded-mode rejections).
+        replications: Keys given an extra replica live (re-placement).
+        copied_bytes / copy_ns: Bytes and modeled device time of the
+            replication copies — charged to the destination shards'
+            lanes, so elasticity shows up in ``busy_ns`` too.
         per_shard: Each shard frontend's own queueing summary.
     """
 
@@ -475,6 +487,17 @@ class ClusterMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    # Failover / elasticity accounting (all zero for a healthy fixed
+    # pool; fed by ClusterFrontend.elastic_summary()).
+    shard_failures: int = 0
+    shard_revivals: int = 0
+    shards_joined: int = 0
+    shards_retired: int = 0
+    failovers: int = 0
+    failover_failures: int = 0
+    replications: int = 0
+    copied_bytes: int = 0
+    copy_ns: float = 0.0
     per_shard: List[QueueMetrics] = field(default_factory=list)
 
     @property
@@ -506,6 +529,7 @@ class ClusterMetrics:
         per_shard: List[QueueMetrics],
         merge_ops: int = 0,
         clock_offset: float = 0.0,
+        elastic: Optional[Dict[str, Any]] = None,
     ) -> "ClusterMetrics":
         """Build the roll-up from cluster records plus per-shard summaries.
 
@@ -544,6 +568,7 @@ class ClusterMetrics:
             # the shared envelope summary below.
             per_shard=list(per_shard),
             **summarize_envelopes(records),
+            **(elastic or {}),
         )
 
 

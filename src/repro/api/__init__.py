@@ -38,11 +38,13 @@ from repro.api.session import (
     Future,
     HostDetails,
     PimSession,
+    RequestFailed,
     RequestRejected,
     Response,
     ResponseDetails,
     ServiceDetails,
     SessionReport,
+    ShardUnavailable,
 )
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "HostDetails",
     "PimSession",
     "QuerySpec",
+    "RequestFailed",
     "RequestRejected",
     "Response",
     "ResponseDetails",
@@ -63,6 +66,7 @@ __all__ = [
     "ScanSpec",
     "ServiceDetails",
     "SessionReport",
+    "ShardUnavailable",
     "UpdateSpec",
     "WriteSpec",
     "lower_conjunction_steps",

@@ -60,6 +60,7 @@ from repro.api.plans import (
     range_count_spec,
     spec_for_request,
 )
+from repro.cluster.frontend import FAILURE_REASONS
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.queries import QueryEngine
 from repro.obs import NULL_OBSERVER, Observer, resolve_observe
@@ -77,6 +78,34 @@ class RequestRejected(RuntimeError):
     def __init__(self, reason: str) -> None:
         super().__init__(f"request rejected by admission control ({reason})")
         self.reason = reason
+
+
+class RequestFailed(RequestRejected):
+    """Raised when the request was lost to an infrastructure failure
+    rather than refused by admission control.  Subclasses
+    :class:`RequestRejected` so existing ``except RequestRejected``
+    handlers keep working, but lets fault-aware callers distinguish
+    "the system said no" from "the system broke"."""
+
+    def __init__(self, reason: str) -> None:
+        RuntimeError.__init__(self, f"request failed ({reason})")
+        self.reason = reason
+
+
+class ShardUnavailable(RequestFailed):
+    """Raised when a request was stranded because no routable replica
+    could absorb it: the shard holding its data died, drained, or was
+    retired with nowhere to re-offer the work (``"shard_failed"``,
+    ``"shard_unavailable"``, ``"shard_retired"``)."""
+
+
+def _rejection(reason: str) -> RequestRejected:
+    """Typed outcome for an unadmitted record: failure reasons from the
+    cluster's fault path map to :class:`ShardUnavailable`, everything
+    else stays a plain admission :class:`RequestRejected`."""
+    if reason in FAILURE_REASONS:
+        return ShardUnavailable(reason)
+    return RequestRejected(reason)
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +135,7 @@ class ClusterDetails:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    failovers: int = 0
 
 
 @dataclass(frozen=True)
@@ -239,15 +269,18 @@ class Future:
         Raises:
             RequestRejected: When admission refused the request — at the
                 door, by load shedding, or by an all-or-nothing scatter.
+            ShardUnavailable: When an infrastructure failure stranded it
+                — the shard holding its data died or was retired with no
+                routable replica to absorb the re-offer.
         """
         if self._response is not None and self._response.completed:
             return self._response
         if not self.record.admitted:
-            raise RequestRejected(self.record.rejected_reason)
+            raise _rejection(self.record.rejected_reason)
         if not self.record.completed:
             self._session.drain()
         if not self.record.admitted:  # e.g. shed or cancelled while queued
-            raise RequestRejected(self.record.rejected_reason)
+            raise _rejection(self.record.rejected_reason)
         if not self.record.completed:
             raise RuntimeError("request did not complete after drain")
         self._response = self._session._build_response(self)
@@ -650,12 +683,16 @@ class PimSession:
             merge_ops = sum(
                 max(0, len(r.parts) - 1) for r in records if r.completed
             )
+            elastic = getattr(self.backend, "elastic_summary", None)
             metrics: Union[QueueMetrics, ClusterMetrics] = ClusterMetrics.from_records(
                 label,
                 records,
                 per_shard,
                 merge_ops=merge_ops,
                 clock_offset=self._clock0,
+                # Failover/scale accounting is cluster-lifetime, not
+                # windowed: shard deaths reshape every session's traffic.
+                elastic=elastic() if callable(elastic) else None,
             )
         else:
             metrics = summarize_queue_records(
@@ -769,7 +806,13 @@ class PimSession:
 
     def _shard_window(self, label: str, shard, own_parts, shard_id: int) -> QueueMetrics:
         """One shard's queueing summary over this session's own parts."""
-        clock0 = self._shard_clock0[shard_id]
+        # Shards joined elastically after the session opened have no
+        # recorded origin; their window starts at the session's own.
+        clock0 = (
+            self._shard_clock0[shard_id]
+            if shard_id < len(self._shard_clock0)
+            else self._clock0
+        )
         completed = [p for p in own_parts if p.completed]
         if own_parts and self._all_terminal(own_parts):
             makespan = max((p.finish_ns - clock0 for p in completed), default=0.0)
@@ -814,6 +857,7 @@ class PimSession:
                 cache_hits=getattr(record, "cache_hits", 0),
                 cache_misses=getattr(record, "cache_misses", 0),
                 cache_invalidations=getattr(record, "cache_invalidations", 0),
+                failovers=getattr(record, "failovers", 0),
             )
         if self.tier == "host":
             return HostDetails()

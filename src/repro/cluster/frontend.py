@@ -46,7 +46,8 @@ import numpy as np
 from repro.ambit.engine import AmbitConfig, AmbitEngine
 from repro.analysis.metrics import ClusterMetrics, OperationMetrics, combine_serial
 from repro.cache.result_cache import ResultCache
-from repro.cluster.router import ShardRouter
+from repro.cluster.faults import FaultPlan
+from repro.cluster.router import PlacementUnavailable, ShardRouter
 from repro.database.bitmap_index import BitmapIndex
 from repro.database.sharding import BitmapIndexShardView
 from repro.obs import Observer, resolve_observe
@@ -55,6 +56,7 @@ from repro.service.frontend import ArrivalEvent, PipelineResult, ServiceFrontend
 from repro.service.planner import BatchPolicy
 from repro.service.requests import (
     BitmapConjunctionRequest,
+    CopyRequest,
     FrontendRequest,
     QueuedRequest,
     ScanRequest,
@@ -63,7 +65,14 @@ from repro.storage.maintenance import MaintenancePolicy, resolve_maintenance
 from repro.storage.requests import WriteRequest, charged_columns, is_write_request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.controller import ElasticController
     from repro.optimizer.passes import OptimizerConfig
+
+#: ``rejected_reason`` values that mean infrastructure failure (a shard
+#: died or no replica holds the data), not admission-control refusal.
+#: :meth:`repro.api.session.Future.result` maps these to the typed
+#: :class:`~repro.api.session.ShardUnavailable` outcome.
+FAILURE_REASONS = frozenset({"shard_failed", "shard_unavailable", "shard_retired"})
 
 
 @dataclass
@@ -125,6 +134,13 @@ class ClusterRecord:
     #: when the cluster's observability plane is recording); the shard
     #: parts' spans are adopted as its children at scatter time.
     trace: Any = field(default=None, repr=False, compare=False)
+    #: Times any part of this record was re-offered off a failed or
+    #: draining shard (0 for requests untouched by faults).
+    failovers: int = 0
+    #: The cancelled originals of re-offered parts, in migration order
+    #: (the live replacements sit in :attr:`parts`); audit trail for the
+    #: conservation property — nothing is dropped, only re-homed.
+    migrated_parts: List[QueuedRequest] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -295,12 +311,28 @@ class ClusterFrontend:
         cache: Union[None, bool, ResultCache] = None,
         maintenance: Union[None, str, MaintenancePolicy] = None,
         observe: Union[bool, Observer] = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if merge_ns_per_op < 0.0:
             raise ValueError("merge_ns_per_op must be non-negative")
         self.merge_ns_per_op = float(merge_ns_per_op)
         self.sanitize = sanitize
         self.maintenance = resolve_maintenance(maintenance)
+        # Shard-construction knobs are kept so :meth:`join_shard` can mint
+        # new shards identical to the originals (pre-built ``shards`` get
+        # joins built from the same knobs the defaults would use).
+        self._engine_factory = engine_factory or _default_engine_factory
+        self._pipeline = pipeline
+        self._shard_kwargs: Dict[str, Any] = dict(
+            policy=policy,
+            max_queue_depth=max_queue_depth,
+            max_backlog_ns=max_backlog_ns,
+            functional=functional,
+            shed_low_priority=shed_low_priority,
+            optimize=optimize,
+            cache=cache,
+            maintenance=self.maintenance,
+        )
         if shards is not None:
             if not shards:
                 raise ValueError("shards must not be empty")
@@ -308,23 +340,7 @@ class ClusterFrontend:
         else:
             if num_shards < 1:
                 raise ValueError("num_shards must be at least 1")
-            factory = engine_factory or _default_engine_factory
-            self.shards = [
-                ServiceFrontend(
-                    executor=BatchExecutor(
-                        engine=factory(), pipeline=pipeline, sanitize=sanitize
-                    ),
-                    policy=policy,
-                    max_queue_depth=max_queue_depth,
-                    max_backlog_ns=max_backlog_ns,
-                    functional=functional,
-                    shed_low_priority=shed_low_priority,
-                    optimize=optimize,
-                    cache=cache,
-                    maintenance=self.maintenance,
-                )
-                for _ in range(num_shards)
-            ]
+            self.shards = [self._build_shard() for _ in range(num_shards)]
         self.router = router or ShardRouter(len(self.shards))
         if self.router.num_shards != len(self.shards):
             raise ValueError("router shard count must match the cluster's")
@@ -336,8 +352,38 @@ class ClusterFrontend:
         if resolved.enabled:
             self.bind_observer(resolved)
         # Shard views per index, pinned by the index object itself (id()
-        # reuse must not hand one index's placement to another).
-        self._index_views: Dict[int, Tuple[BitmapIndex, Dict[int, BitmapIndexShardView]]] = {}
+        # reuse must not hand one index's placement to another) and by
+        # the router's placement epoch (live re-placement, joins, and
+        # retires must re-partition the shard views).
+        self._index_views: Dict[int, Tuple[BitmapIndex, int, Dict[int, BitmapIndexShardView]]] = {}
+        #: The fault schedule driven by :meth:`advance_to`/:meth:`drain`
+        #: (None runs the healthy fixed-pool behaviour untouched).
+        self.faults = faults
+        #: The elastic controller, when one is attached
+        #: (:class:`~repro.cluster.controller.ElasticController` registers
+        #: itself here).
+        self.controller: Optional["ElasticController"] = None
+        # Elastic accounting (mirrors the cluster.failover.* and
+        # cluster.scale.* obs counters, so obs-off runs still report).
+        self.shards_failed = 0
+        self.shards_revived = 0
+        self.shards_joined = 0
+        self.shards_retired = 0
+        self.failover_parts = 0
+        self.failover_records_failed = 0
+        self.replications = 0
+        self.copied_bytes = 0
+        self.copy_ns_total = 0.0
+
+    def _build_shard(self) -> ServiceFrontend:
+        return ServiceFrontend(
+            executor=BatchExecutor(
+                engine=self._engine_factory(),
+                pipeline=self._pipeline,
+                sanitize=self.sanitize,
+            ),
+            **self._shard_kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Observability
@@ -393,6 +439,17 @@ class ClusterFrontend:
             )
             registry.counter("cluster.rejected").inc()
 
+    def _obs_key_reads(self, request: FrontendRequest) -> None:
+        """Count per-key read touches (the controller's hotness signal)."""
+        registry = self.obs.metrics
+        if isinstance(request, ScanRequest):
+            label = self.router.key_label(request.column)
+            registry.counter(f"cluster.key_reads.{label}").inc()
+        elif isinstance(request, BitmapConjunctionRequest):
+            for column, _ in request.predicates:
+                label = self.router.key_label(column)
+                registry.counter(f"cluster.key_reads.{label}").inc()
+
     def _obs_gathered(self, record: ClusterRecord, tree_depth: int) -> None:
         """Attach the gather-merge child and close the record's root."""
         span = record.trace
@@ -437,15 +494,15 @@ class ClusterFrontend:
 
     def _views_for(self, index: BitmapIndex) -> Dict[int, BitmapIndexShardView]:
         entry = self._index_views.get(id(index))
-        if entry is not None and entry[0] is index:
-            return entry[1]
+        if entry is not None and entry[0] is index and entry[1] == self.router.epoch:
+            return entry[2]
         placed = self.router.partition(index.indexed_columns())
         views = {
             shard: index.shard_view(columns)
             for shard, columns in enumerate(placed)
             if columns
         }
-        self._index_views[id(index)] = (index, views)
+        self._index_views[id(index)] = (index, self.router.epoch, views)
         return views
 
     # ------------------------------------------------------------------
@@ -480,14 +537,27 @@ class ClusterFrontend:
             self._obs_offered(record)
 
         load = lambda shard: self.shard_load(shard, arrival)  # noqa: E731
-        if isinstance(request, BitmapConjunctionRequest):
-            plan = self._scatter_conjunction(request, load)
-        elif is_write_request(request):
-            plan = self._scatter_write(request, load)
-        elif isinstance(request, ScanRequest):
-            plan = [(self.router.route(request.column, load), request)]
-        else:
-            plan = [(self.router.route_any(load), request)]
+        try:
+            if isinstance(request, BitmapConjunctionRequest):
+                plan = self._scatter_conjunction(request, load)
+            elif is_write_request(request):
+                plan = self._scatter_write(request, load)
+            elif isinstance(request, ScanRequest):
+                plan = [(self.router.route(request.column, load), request)]
+            else:
+                plan = [(self.router.route_any(load), request)]
+        except PlacementUnavailable:
+            # Degraded mode: no routable replica holds the data.  Reject
+            # with a failure-typed reason (mapped to ShardUnavailable by
+            # the session layer) instead of serving a wrong answer.
+            record.admitted = False
+            record.rejected_reason = "shard_unavailable"
+            if self.obs.enabled:
+                self.obs.metrics.counter("cluster.failover.unavailable").inc()
+                self._obs_scattered(record)
+            return record
+        if self.obs.enabled:
+            self._obs_key_reads(request)
 
         for shard_id, sub_request in plan:
             part = self.shards[shard_id].offer(
@@ -531,12 +601,27 @@ class ClusterFrontend:
         views = self._views_for(request.index)
         charged = charged_columns(request)
         parts: List[Tuple[int, WriteRequest]] = []
+        covered: set = set()
+        placed_anywhere: set = set()
         for shard_id, view in sorted(views.items()):
             local = tuple(c for c in charged if c in view.columns)
+            placed_anywhere.update(local)
+            if not self.router.is_routable(shard_id):
+                # A down/draining replica skips its maintenance charge —
+                # the surviving replicas still cover the column (checked
+                # below); the copy is rebuilt by re-replication, not here.
+                continue
             if local:
+                covered.update(local)
                 parts.append(
                     (shard_id, dataclasses.replace(request, columns=local, apply=False))
                 )
+        missing = placed_anywhere - covered
+        if missing:
+            column = sorted(missing)[0]
+            raise PlacementUnavailable(
+                f"no routable replica holds written column {column!r}", key=column
+            )
         if not parts:
             parts = [
                 (
@@ -619,20 +704,429 @@ class ClusterFrontend:
     # ------------------------------------------------------------------
     # Service
     # ------------------------------------------------------------------
+    def _next_event_ns(self, include_controller: bool = True) -> Optional[float]:
+        """Next fault event or controller tick due, or None."""
+        candidates: List[float] = []
+        if self.faults is not None:
+            due = self.faults.next_fire_ns()
+            if due is not None:
+                candidates.append(due)
+        if include_controller and self.controller is not None:
+            candidates.append(self.controller.next_tick_ns())
+        return min(candidates) if candidates else None
+
+    def _fire_events(self, at_ns: float) -> None:
+        """Apply every fault event and controller tick due at ``at_ns``.
+
+        The caller must have advanced all shards to ``at_ns`` first, so
+        a kill lands exactly at its scheduled instant: dispatched batches
+        have completed (fail-stop at the dispatch boundary) and the
+        victim's still-queued work migrates from the current state.
+        """
+        if self.faults is not None:
+            self.faults.fire_due(self, at_ns)
+        if self.controller is not None:
+            self.controller.run_due(at_ns)
+
     def advance_to(self, until_ns: float) -> None:
-        """Advance every shard's virtual clock towards ``until_ns``."""
+        """Advance every shard's virtual clock towards ``until_ns``,
+        firing fault events and controller ticks at their due instants."""
+        until = float(until_ns)
+        while True:
+            due = self._next_event_ns()
+            if due is None or due > until:
+                break
+            fire_at = max(due, self.clock_ns)
+            for shard in self.shards:
+                shard.advance_to(fire_at)
+            self.clock_ns = max(self.clock_ns, fire_at)
+            self._fire_events(fire_at)
         for shard in self.shards:
-            shard.advance_to(until_ns)
-        self.clock_ns = max(self.clock_ns, until_ns)
+            shard.advance_to(until)
+        self.clock_ns = max(self.clock_ns, until)
+        if self.faults is not None:
+            self.faults.poll(self, self.clock_ns)
 
     def drain(self) -> None:
-        """Serve every shard until all queues are empty, then gather."""
+        """Serve every shard until all queues are empty, then gather.
+
+        Fault events and controller ticks due before the work horizon
+        still fire in order; events scheduled past the horizon stay
+        pending (an empty cluster does not spin its clock forward to
+        meet a far-future kill).
+        """
+        while True:
+            busy = any(shard.queue_depth > 0 for shard in self.shards)
+            due = self._next_event_ns(include_controller=busy)
+            if due is None:
+                break
+            horizon = max(
+                [self.clock_ns] + [shard.completion_ns for shard in self.shards]
+            )
+            if due > horizon:
+                if not busy:
+                    break
+                # Serve the queued work up to the event instant, then
+                # re-evaluate: if the queues empty before ``due`` the
+                # event lies beyond this stream and stays pending.
+                progressed = False
+                for shard in self.shards:
+                    before = (shard.clock_ns, shard.queue_depth)
+                    shard.advance_to(due)
+                    if (shard.clock_ns, shard.queue_depth) != before:
+                        progressed = True
+                if not progressed:
+                    # Batch policies sleeping for arrivals that never
+                    # come are forced batch-by-batch, exactly as an
+                    # eventless drain would close them (their dispatch
+                    # instants precede the event: horizon < due).
+                    for shard in self.shards:
+                        if shard.queue_depth > 0:
+                            shard.serve_batch()
+                continue
+            fire_at = max(due, self.clock_ns)
+            for shard in self.shards:
+                shard.advance_to(fire_at)
+            self.clock_ns = max(self.clock_ns, fire_at)
+            self._fire_events(fire_at)
         for shard in self.shards:
             shard.drain()
         self.clock_ns = max(
             [self.clock_ns] + [s.clock_ns for s in self.shards]
         )
+        if self.faults is not None:
+            self.faults.poll(self, self.clock_ns)
         self._finalize_records()
+
+    # ------------------------------------------------------------------
+    # Faults and failover
+    # ------------------------------------------------------------------
+    def fail_shard(self, shard_id: int, at_ns: Optional[float] = None) -> bool:
+        """Kill one shard at an instant (fail-stop at the dispatch
+        boundary): work already dispatched to its lanes completes, work
+        still queued on it is cancelled and re-offered to surviving
+        replicas.  Returns False when the shard was already down/retired.
+        """
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        if not self.router.mark_down(shard_id):
+            return False
+        self.shards_failed += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster.failover.kills").inc()
+        self._migrate_queued(shard_id, now, reason="shard_failed")
+        return True
+
+    def revive_shard(self, shard_id: int, at_ns: Optional[float] = None) -> bool:
+        """Bring a failed shard back into the routable pool.  Its replicas
+        were never unplaced (placement is orthogonal to health), so reads
+        route to it again immediately.  False when it was not down."""
+        del at_ns  # revival is a pure health flip; nothing to reschedule
+        if not self.router.mark_up(shard_id):
+            return False
+        self.shards_revived += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster.failover.revives").inc()
+        return True
+
+    def drain_shard(self, shard_id: int, at_ns: Optional[float] = None) -> bool:
+        """Stop routing new work to a shard and migrate its queue off
+        (the retirement prelude).  In-flight batches complete in place."""
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        if not self.router.is_routable(shard_id):
+            return False
+        self.router.mark_draining(shard_id)
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster.scale.drains").inc()
+        self._migrate_queued(shard_id, now, reason="shard_draining")
+        return True
+
+    def retire_shard(self, shard_id: int, at_ns: Optional[float] = None) -> bool:
+        """Permanently remove a shard: drain its queue, move the last
+        copy of every key it solely holds onto a surviving shard (the
+        copy bytes are charged to the destination's lanes), then retire
+        it in the router.  Returns False when the pool cannot absorb the
+        shard's data (the retire is then abandoned, shard left draining).
+        """
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        if self.router.is_retired(shard_id):
+            return False
+        if self.router.is_routable(shard_id):
+            self.router.mark_draining(shard_id)
+            self._migrate_queued(shard_id, now, reason="shard_retired")
+        load = lambda shard: self.shard_load(shard, now)  # noqa: E731
+        for key in self.router.placed_keys(shard_id):
+            survivors = [
+                s
+                for s in self.router.replicas(key)
+                if s != shard_id and not self.router.is_retired(s)
+            ]
+            if not survivors:
+                try:
+                    target = self.router.route_any(load)
+                except PlacementUnavailable:
+                    return False  # nowhere to move the last copy
+                self.add_replica(key, target, at_ns=now, force=True)
+            self.router.drop_replica(key, shard_id)
+        self.router.retire(shard_id)
+        self.shards_retired += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster.scale.retires").inc()
+        return True
+
+    def join_shard(self, at_ns: Optional[float] = None) -> int:
+        """Grow the pool by one shard (built from the cluster's own
+        construction knobs) starting life at ``at_ns``; returns its id.
+        Existing placements are sticky — the new shard takes load via
+        affinity-free routing, controller re-replication, and keys first
+        seen after the join."""
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        shard = self._build_shard()
+        shard.clock_ns = max(shard.clock_ns, now)
+        self.shards.append(shard)
+        new_id = self.router.add_shard()
+        if new_id != len(self.shards) - 1:
+            raise RuntimeError(
+                "router and cluster shard counts diverged on join "
+                f"(router says {new_id}, cluster has {len(self.shards)} shards)"
+            )
+        if self.obs.enabled:
+            # Re-bind so the joined shard records into the shared plane
+            # with its own shard-prefixed lane tracks.
+            self.bind_observer(self.obs)
+            self.obs.metrics.counter("cluster.scale.joins").inc()
+        self.shards_joined += 1
+        return new_id
+
+    def _migrate_queued(self, shard_id: int, now: float, reason: str) -> int:
+        """Cancel every still-queued part on ``shard_id`` and re-offer it
+        to surviving shards; returns how many parts migrated.  Parts
+        already dispatched complete in place (fail-stop boundary); a part
+        with no surviving placement fails its whole record (typed
+        degraded-mode outcome, never a silent drop)."""
+        migrated = 0
+        for record in self.records:
+            if not record.admitted or record.completed:
+                continue
+            k = 0
+            while k < len(record.parts):
+                part = record.parts[k]
+                if (
+                    record.shard_ids[k] == shard_id
+                    and part.admitted
+                    and not part.completed
+                    and self.shards[shard_id].cancel(part, reason=reason)
+                ):
+                    replaced = self._reoffer_part(record, k, shard_id, part, now)
+                    if replaced is None:
+                        break  # record failed; siblings already withdrawn
+                    migrated += 1
+                    k += replaced
+                else:
+                    k += 1
+        return migrated
+
+    def _reoffer_part(
+        self,
+        record: ClusterRecord,
+        k: int,
+        old_shard: int,
+        part: QueuedRequest,
+        now: float,
+    ) -> Optional[int]:
+        """Re-offer one cancelled part of ``record`` onto surviving
+        shards at ``now``; returns how many replacement parts took its
+        place in :attr:`ClusterRecord.parts`, or None when no surviving
+        placement exists (the record is failed, siblings withdrawn)."""
+        load = lambda shard: self.shard_load(shard, now)  # noqa: E731
+        request = part.request
+        plan: List[Tuple[int, FrontendRequest]]
+        try:
+            if isinstance(request, BitmapConjunctionRequest) and isinstance(
+                request.index, BitmapIndexShardView
+            ):
+                # Re-scatter the sub-conjunction's predicates over the
+                # surviving replicas of the parent index.
+                parent = request.index.index
+                views = self._views_for(parent)
+                assignment = self.router.assign_scatter(
+                    [column for column, _ in request.predicates], load
+                )
+                by_shard: Dict[int, List[Tuple[str, Tuple[int, ...]]]] = {}
+                for (column, values), (_, shard) in zip(request.predicates, assignment):
+                    by_shard.setdefault(shard, []).append((column, values))
+                plan = [
+                    (
+                        shard,
+                        BitmapConjunctionRequest(
+                            index=views[shard], predicates=tuple(predicates)
+                        ),
+                    )
+                    for shard, predicates in sorted(by_shard.items())
+                ]
+            elif isinstance(request, ScanRequest):
+                plan = [(self.router.route(request.column, load), request)]
+            elif is_write_request(request):
+                # Charge-only maintenance part: prefer a surviving replica
+                # of one of its columns, else charge the least-loaded shard.
+                target: Optional[int] = None
+                for column in request.columns or ():
+                    try:
+                        target = self.router.route(column, load)
+                        break
+                    except PlacementUnavailable:
+                        continue
+                if target is None:
+                    target = self.router.route_any(load)
+                plan = [(target, request)]
+            else:
+                plan = [(self.router.route_any(load), request)]
+        except PlacementUnavailable:
+            self._fail_record(record, "shard_unavailable", now)
+            return None
+        if self.sanitize:
+            from repro.verify.plan_lint import check_failover_reoffer  # local: avoid cycle
+
+            check_failover_reoffer(self.router, old_shard, [s for s, _ in plan])
+        new_ids: List[int] = []
+        new_parts: List[QueuedRequest] = []
+        for shard_id, sub_request in plan:
+            new_part = self.shards[shard_id].offer(
+                sub_request,
+                priority=record.priority,
+                deadline_ns=record.deadline_ns,
+                arrival_ns=now,
+            )
+            new_ids.append(shard_id)
+            new_parts.append(new_part)
+            if record.trace is not None and new_part.trace is not None:
+                new_part.trace.set(shard=shard_id, failover=True)
+                self.obs.tracer.adopt(new_part.trace, record.trace)
+        record.shard_ids[k : k + 1] = new_ids
+        record.parts[k : k + 1] = new_parts
+        record.migrated_parts.append(part)
+        record.failovers += 1
+        self.failover_parts += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cluster.failover.migrated_parts").inc()
+            self.obs.metrics.counter("cluster.failover.reoffers").inc(float(len(plan)))
+        # A replacement refused by target admission flows through the
+        # existing all-or-nothing rejection in _finalize_records.
+        return len(new_parts)
+
+    def _fail_record(self, record: ClusterRecord, reason: str, now: float) -> None:
+        """Terminal degraded-mode failure: mark the record rejected with a
+        failure-typed reason and withdraw its still-queued siblings."""
+        record.admitted = False
+        record.rejected_reason = reason
+        for shard, sibling in zip(record.shard_ids, record.parts):
+            if sibling.admitted and not sibling.completed:
+                self.shards[shard].cancel(sibling, reason=reason)
+        self.failover_records_failed += 1
+        if self.obs.enabled:
+            registry = self.obs.metrics
+            registry.counter("cluster.failover.records_failed").inc()
+            registry.counter("cluster.rejected").inc()
+            if record.trace is not None:
+                record.trace.end(now).set(status="failed", reason=reason)
+
+    # ------------------------------------------------------------------
+    # Elasticity (controller surface)
+    # ------------------------------------------------------------------
+    def add_replica(
+        self,
+        key,
+        shard_id: int,
+        at_ns: Optional[float] = None,
+        priority: int = 0,
+        force: bool = False,
+    ) -> bool:
+        """Replicate ``key`` onto ``shard_id``, charging the copy bytes
+        to the destination shard's lanes as a
+        :class:`~repro.service.requests.CopyRequest` through its own
+        admission path.  Returns False when the shard already holds the
+        key, is unroutable, or refuses the copy (``force=True`` places
+        anyway — the retire path must not strand data)."""
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        if shard_id in self.router.replicas(key):
+            return False
+        if not force and not self.router.is_routable(shard_id):
+            return False
+        num_bytes = self._replica_bytes(key)
+        copy = self.shards[shard_id].offer(
+            CopyRequest(num_bytes=num_bytes), priority=priority, arrival_ns=now
+        )
+        if not copy.admitted and not force:
+            return False
+        self.router.add_replica(key, shard_id)
+        self.replications += 1
+        self.copied_bytes += num_bytes
+        copy_ns = copy.modeled_ns if copy.admitted else 0.0
+        self.copy_ns_total += copy_ns
+        if self.obs.enabled:
+            registry = self.obs.metrics
+            registry.counter("cluster.scale.replications").inc()
+            registry.counter("cluster.scale.copied_bytes").inc(float(num_bytes))
+            registry.counter("cluster.scale.copy_ns").inc(copy_ns)
+        return True
+
+    def _replica_bytes(self, key) -> int:
+        """Bytes a new replica of ``key`` must copy onto its shard."""
+        if isinstance(key, str):
+            total = 0
+            for index, _, _ in self._index_views.values():
+                planes = index.bitmaps.get(key)
+                if planes:
+                    total += sum(int(plane.size) for plane in planes.values())
+            if total:
+                return total
+        else:
+            size = getattr(key, "storage_bytes", None)
+            if callable(size):
+                return int(size())
+        return 8192  # one DRAM row: conservative floor for unknown keys
+
+    def publish_gauges(self, at_ns: Optional[float] = None) -> None:
+        """Publish the cluster health gauges the controller reads:
+        per-shard backlog, imbalance factor, pool size, rejection rate."""
+        if not self.obs.enabled:
+            return
+        now = self.clock_ns if at_ns is None else float(at_ns)
+        registry = self.obs.metrics
+        routable = self.router.routable_shards()
+        backlogs = []
+        for shard_id in range(self.num_shards):
+            backlog = self.shard_load(shard_id, now)
+            registry.gauge(f"cluster.backlog_ns.shard{shard_id}").set(backlog)
+            registry.gauge(f"cluster.queue_depth.shard{shard_id}").set(
+                float(self.shards[shard_id].queue_depth)
+            )
+            if shard_id in routable:
+                backlogs.append(backlog)
+        registry.gauge("cluster.shards_alive").set(float(len(self.router.alive_shards())))
+        registry.gauge("cluster.shards_routable").set(float(len(routable)))
+        mean = sum(backlogs) / len(backlogs) if backlogs else 0.0
+        imbalance = (max(backlogs) / mean) if mean > 0.0 else 1.0
+        registry.gauge("cluster.imbalance").set(imbalance)
+        offered = registry.counter("cluster.offered").value
+        rejected = registry.counter("cluster.rejected").value
+        registry.gauge("cluster.rejection_rate").set(
+            rejected / offered if offered > 0.0 else 0.0
+        )
+
+    def elastic_summary(self) -> Dict[str, Any]:
+        """Failover/scale accounting for :class:`ClusterMetrics` (kept as
+        plain attributes so obs-off runs report identically)."""
+        return {
+            "shard_failures": self.shards_failed,
+            "shard_revivals": self.shards_revived,
+            "shards_joined": self.shards_joined,
+            "shards_retired": self.shards_retired,
+            "failovers": self.failover_parts,
+            "failover_failures": self.failover_records_failed,
+            "replications": self.replications,
+            "copied_bytes": self.copied_bytes,
+            "copy_ns": self.copy_ns_total,
+        }
 
     def run(self, events: Iterable[ArrivalEvent], name: str = "cluster") -> ClusterResult:
         """Serve a whole arrival stream across the cluster.
@@ -742,6 +1236,7 @@ class ClusterFrontend:
             self.records,
             [r.metrics for r in per_shard],
             merge_ops=merge_ops,
+            elastic=self.elastic_summary(),
         )
         return ClusterResult(
             records=list(self.records), per_shard=per_shard, metrics=metrics

@@ -8,6 +8,15 @@ later (with optional seeded jitter to de-synchronize retry storms), up to
 ``max_attempts`` total tries.  The deadline, priority, and the request
 itself are preserved across attempts — only the arrival time moves.
 
+Two fault-tolerance refinements: the retry budget is **deadline-aware**
+(a retry whose backoff delay would land past the request's deadline is
+not offered at all — the budget is the remaining slack, not a fixed
+attempt count), and jitter draws are **keyed** per (request, attempt)
+from the client seed, so the de-synchronization is deterministic on the
+virtual clock and independent of the order retries interleave — exactly
+what keeps a post-failure retry storm from re-spiking the surviving
+shards in lockstep.
+
 The client drives anything that speaks the
 :class:`~repro.api.backends.Backend` protocol (``offer`` /
 ``advance_to`` / ``drain`` / ``result``) — the single-device
@@ -60,10 +69,28 @@ class BackoffPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
 
-    def delay_ns(self, attempt: int, rng: np.random.Generator) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+    def delay_ns(
+        self,
+        attempt: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: int = 0,
+        key: int = 0,
+    ) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Jitter draws come from ``rng`` when given (legacy shared-stream
+        mode), else from a generator keyed on ``(seed, key, attempt)`` —
+        every (request, attempt) pair gets its own deterministic draw,
+        independent of the order retries pop off the virtual-time heap.
+        Keyed jitter is what de-synchronizes the retry storm after a
+        shard failure: the victims' re-offers spread over the backoff
+        window instead of landing on the survivors in one spike.
+        """
         delay = self.base_ns * self.multiplier ** (attempt - 1)
         if self.jitter > 0.0:
+            if rng is None:
+                rng = np.random.default_rng((seed, key, attempt))
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return delay
 
@@ -160,7 +187,10 @@ class RetryClient:
         # to carry a `backend` attribute — is driven as given.
         self.frontend = frontend.backend if isinstance(frontend, PimSession) else frontend
         self.policy = policy or BackoffPolicy()
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        #: Retries skipped because the remaining deadline slack could not
+        #: cover the backoff delay (the attempt budget was cut short).
+        self.deadline_exhausted = 0
 
     def run(self, events: Iterable[ArrivalEvent], name: str = "retry_client") -> RetryOutcome:
         """Serve a stream, retrying rejections, and report both views.
@@ -175,9 +205,8 @@ class RetryClient:
             record = RetryRecord(event=event)
             outcome.records.append(record)
             heapq.heappush(heap, (event.arrival_ns, i, 1, record))
-        seq = len(heap)
         while heap:
-            offer_ns, _, attempt, record = heapq.heappop(heap)
+            offer_ns, key, attempt, record = heapq.heappop(heap)
             self.frontend.advance_to(offer_ns)
             envelope = self.frontend.offer(
                 record.event.request,
@@ -187,9 +216,20 @@ class RetryClient:
             )
             record.attempts.append(envelope)
             if not envelope.admitted and attempt < self.policy.max_attempts:
-                delay = self.policy.delay_ns(attempt, self._rng)
-                heapq.heappush(heap, (offer_ns + delay, seq, attempt + 1, record))
-                seq += 1
+                # Jitter is keyed per (request, attempt): deterministic,
+                # order-independent, and de-synchronized across victims
+                # of the same shard failure.
+                delay = self.policy.delay_ns(
+                    attempt, seed=self.seed, key=key
+                )
+                deadline = record.event.deadline_ns
+                if deadline is not None and offer_ns + delay >= deadline:
+                    # The remaining slack cannot cover the backoff: the
+                    # retry would arrive already late, so the budget is
+                    # capped here rather than wasting a doomed offer.
+                    self.deadline_exhausted += 1
+                    continue
+                heapq.heappush(heap, (offer_ns + delay, key, attempt + 1, record))
         self.frontend.drain()
         outcome.result = self.frontend.result(name)
         return outcome

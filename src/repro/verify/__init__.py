@@ -15,6 +15,7 @@ from repro.verify.errors import (
     ChainCycleError,
     CostModelMismatchError,
     DanglingOperandError,
+    FailoverError,
     LaneHazardError,
     PlanVerifyError,
     ScatterCoverageError,
@@ -27,6 +28,7 @@ from repro.verify.plan_lint import (
     ChainLintReport,
     OptimizedBatchReport,
     OptimizedRequestView,
+    check_failover_reoffer,
     check_scatter_coverage,
     check_write_scatter,
     lint_cache_consistency,
@@ -49,6 +51,7 @@ __all__ = [
     "ChainLintReport",
     "CostModelMismatchError",
     "DanglingOperandError",
+    "FailoverError",
     "LaneHazardError",
     "OptimizedBatchReport",
     "OptimizedRequestView",
@@ -60,6 +63,7 @@ __all__ = [
     "VerifyError",
     "WidthMismatchError",
     "WritePlanError",
+    "check_failover_reoffer",
     "check_scatter_coverage",
     "check_schedule",
     "check_write_scatter",

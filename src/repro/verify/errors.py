@@ -91,6 +91,14 @@ class CacheConsistencyError(PlanVerifyError):
     rule = "cache-consistency"
 
 
+class FailoverError(PlanVerifyError):
+    """A failover re-offer targets the failed/draining shard itself or a
+    shard that is not routable — migrated work would land right back on
+    a dead queue."""
+
+    rule = "failover"
+
+
 # ----------------------------------------------------------------------
 # Schedule defects (repro.verify.schedule_check)
 # ----------------------------------------------------------------------

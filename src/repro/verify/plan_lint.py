@@ -41,6 +41,7 @@ from repro.verify.errors import (
     ChainCycleError,
     CostModelMismatchError,
     DanglingOperandError,
+    FailoverError,
     ScatterCoverageError,
     WidthMismatchError,
     WritePlanError,
@@ -630,6 +631,40 @@ def check_write_scatter(
             "would pay their maintenance",
             details={"missing": missing},
         )
+
+
+def check_failover_reoffer(
+    router,
+    failed_shard: int,
+    target_shards: Sequence[int],
+) -> None:
+    """Certify a failover migration's targets before the re-offer lands.
+
+    Work cancelled off a failed/draining shard must go to shards that can
+    actually serve it: never back to the shard it just left, and never to
+    a shard that is itself down, draining, or retired.
+
+    Args:
+        router: The cluster's :class:`~repro.cluster.router.ShardRouter`
+            (duck-typed — only ``is_routable`` is consulted, keeping this
+            module import-free of the cluster package).
+        failed_shard: The shard the work was cancelled off.
+        target_shards: Shard ids the replacement parts are offered to.
+
+    Raises:
+        FailoverError: A target is the failed shard itself or unroutable.
+    """
+    for shard in target_shards:
+        if shard == failed_shard:
+            raise FailoverError(
+                f"failover re-offer targets the failed shard {shard} itself",
+                details={"failed_shard": failed_shard, "target": shard},
+            )
+        if not router.is_routable(shard):
+            raise FailoverError(
+                f"failover re-offer targets unroutable shard {shard}",
+                details={"failed_shard": failed_shard, "target": shard},
+            )
 
 
 def lint_write_plan(outcome) -> None:

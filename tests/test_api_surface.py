@@ -21,6 +21,7 @@ EXPECTED_EXPORTS = [
     "HostDetails",
     "PimSession",
     "QuerySpec",
+    "RequestFailed",
     "RequestRejected",
     "Response",
     "ResponseDetails",
@@ -28,6 +29,7 @@ EXPECTED_EXPORTS = [
     "ScanSpec",
     "ServiceDetails",
     "SessionReport",
+    "ShardUnavailable",
     "UpdateSpec",
     "WriteSpec",
     "lower_conjunction_steps",

@@ -141,8 +141,19 @@ class _ModuleLinter(ast.NodeVisitor):
         # assign to self; a nested non-frozen class resets the context.
         self._frozen_stack: List[bool] = []
         # Observability modules get the stricter clock rule (obs-wall-clock
-        # fires there instead of the generic wall-clock rule).
-        self._in_obs = "repro/obs" in path.replace("\\", "/")
+        # fires there instead of the generic wall-clock rule).  The fault
+        # plan and elastic controller ride on the same rule: they schedule
+        # and decide purely on the virtual clock, so host time in either
+        # would silently desynchronize fault replay.
+        normalized = path.replace("\\", "/")
+        self._in_obs = any(
+            fragment in normalized
+            for fragment in (
+                "repro/obs",
+                "repro/cluster/faults",
+                "repro/cluster/controller",
+            )
+        )
         # Cache modules get the aliasing rule on public-method returns.
         self._in_cache = "repro/cache" in path.replace("\\", "/")
         self._function_stack: List[str] = []
@@ -205,8 +216,9 @@ class _ModuleLinter(ast.NodeVisitor):
                 self._add(
                     node,
                     "obs-wall-clock",
-                    f"{phrase} inside repro.obs: spans must carry virtual-clock "
-                    "nanoseconds only, never host time",
+                    f"{phrase} inside a virtual-clock control module "
+                    "(repro.obs, the fault plan, the elastic controller): "
+                    "only virtual-clock nanoseconds, never host time",
                 )
         elif root in _WALL_CLOCK_MODULES:
             self._add(

@@ -297,7 +297,53 @@ TRACE_SCHEMA: JsonSchema = {
     "additionalProperties": False,
 }
 
+#: Per-mode block of the elastic fault-tolerance A/B benchmark.
+_ELASTIC_MODE: JsonSchema = {
+    "type": "object",
+    "required": [
+        "offered",
+        "completed",
+        "rejected",
+        "makespan_ms",
+        "throughput_krps",
+        "sojourn_p99_us",
+    ],
+    "properties": {
+        "offered": _COUNT,
+        "completed": _COUNT,
+        "rejected": _COUNT,
+        "makespan_ms": _NS,
+        "throughput_krps": _NS,
+        "sojourn_p99_us": _NS,
+    },
+    "additionalProperties": _NUMBER,
+}
+
 SCHEMAS: Dict[str, JsonSchema] = {
+    "elastic": {
+        "type": "object",
+        "required": [
+            "healthy",
+            "faulted",
+            "kill_us",
+            "recovery_us",
+            "lost_requests",
+            "failovers",
+            "migrated_parts",
+            "throughput_ratio",
+        ],
+        "properties": {
+            "healthy": _ELASTIC_MODE,
+            "faulted": _ELASTIC_MODE,
+            "kill_us": _NS,
+            "recovery_us": _NS,
+            "lost_requests": _COUNT,
+            "failovers": _COUNT,
+            "migrated_parts": _COUNT,
+            "throughput_ratio": {"type": "number", "minimum": 0},
+        },
+        "additionalProperties": _NUMBER,
+    },
     "pipeline": {
         "type": "object",
         "required": ["barrier", "pipelined", "pipelined_vs_barrier_throughput"],
